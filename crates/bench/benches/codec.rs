@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the computation steps: CRC-32C (S2/S6),
+//! LZ compress (S5), LZ decompress (S3). Their relative costs underpin the
+//! paper's "comp is almost the most costly, decomp the least" observation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcp_workload::ValueGen;
+use std::hint::black_box;
+
+fn corpus(len: usize, compressibility: f64) -> Vec<u8> {
+    let mut g = ValueGen::new(100, compressibility, 0xC0DE);
+    let mut out = Vec::with_capacity(len + 100);
+    while out.len() < len {
+        out.extend_from_slice(&g.next());
+    }
+    out.truncate(len);
+    out
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = corpus(64 << 10, 0.5);
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("64KiB", |b| {
+        b.iter(|| pcp_codec::crc32c(black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz_compress");
+    for ratio in [0.0, 0.5, 0.9] {
+        let data = corpus(64 << 10, ratio);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("64KiB_r{ratio}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                pcp_codec::compress(black_box(&data), &mut out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz_decompress");
+    for ratio in [0.0, 0.5, 0.9] {
+        let data = corpus(64 << 10, ratio);
+        let mut comp = Vec::new();
+        pcp_codec::compress(&data, &mut comp);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("64KiB_r{ratio}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                pcp_codec::decompress(black_box(&comp), &mut out).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let values: Vec<u64> = (0..1024u64).map(|i| i * i * 31).collect();
+    c.bench_function("varint_encode_decode_1k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(4096);
+            for &v in &values {
+                pcp_codec::put_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            let mut sum = 0u64;
+            while pos < buf.len() {
+                let (v, n) = pcp_codec::decode_u64(&buf[pos..]).unwrap();
+                sum = sum.wrapping_add(v);
+                pos += n;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crc, bench_compress, bench_decompress, bench_varint
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the engine's write and read paths on a
+//! latency-free device: WAL-append + memtable insert throughput, point-get
+//! latency across levels, and full-scan rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcp_lsm::{CompactionPolicy, Db, Options};
+use pcp_storage::{EnvRef, SimDevice, SimEnv};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn ram_db() -> Db {
+    let env: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(2 << 30))));
+    Db::open(
+        env,
+        Options {
+            memtable_bytes: 1 << 20,
+            sstable_bytes: 512 << 10,
+            policy: CompactionPolicy {
+                l0_trigger: 4,
+                base_level_bytes: 4 << 20,
+                level_multiplier: 10,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_put(c: &mut Criterion) {
+    let db = ram_db();
+    let mut g = c.benchmark_group("db_put");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    g.bench_function("116B_entry", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let key = format!("key{:013}", i % 10_000_000_000_000);
+            db.put(key.as_bytes(), &[0xCD; 100]).unwrap();
+        })
+    });
+    g.finish();
+    db.wait_idle().unwrap();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let db = ram_db();
+    let n = 50_000u64;
+    for i in 0..n {
+        db.put(format!("key{i:08}").as_bytes(), &[0xAB; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    let mut g = c.benchmark_group("db_get");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 1u64;
+    g.bench_function("hit_across_levels", |b| {
+        b.iter(|| {
+            i = (i * 2654435761) % n;
+            black_box(db.get(format!("key{i:08}").as_bytes()).unwrap())
+        })
+    });
+    g.bench_function("miss_bloom_filtered", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(db.get(format!("absent{i:08}").as_bytes()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let db = ram_db();
+    let n = 20_000u64;
+    for i in 0..n {
+        db.put(format!("key{i:08}").as_bytes(), &[0x77; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    let mut g = c.benchmark_group("db_scan");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+    g.bench_function("full_20k", |b| {
+        b.iter(|| {
+            let mut it = db.iter();
+            it.seek_to_first();
+            let mut count = 0u64;
+            while it.valid() {
+                count += 1;
+                it.next();
+            }
+            assert_eq!(count, n);
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_put, bench_get, bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 5 — execution-time breakdown of the Sequential Compaction
+//! Procedure into three parts (read | compute | write), on (a) HDD and
+//! (b) SSD.
+//!
+//! Paper shape targets: HDD read > 40 %, read+write > 60 % (disk-bound);
+//! SSD compute > 60 % with write > read (CPU-bound).
+
+use pcp_bench::*;
+use pcp_core::{ScpExec, Step};
+
+fn main() {
+    let upper = if quick_mode() { 4 << 20 } else { 16 << 20 };
+    let mut report = Report::new(
+        "fig5",
+        &["device", "read%", "compute%", "write%", "verdict"],
+    );
+    for (device, env) in [("hdd", hdd_env(1.0)), ("ssd", ssd_env(1.0))] {
+        let fixture = build_fixture(env, upper, VALUE_LEN, 5);
+        let exec = ScpExec::new(SUBTASK_BYTES);
+        let profile = exec.profile();
+        let snap = profiled_run(&fixture, &exec, &profile);
+        let (r, c, w) = snap.three_part_split();
+        let verdict = if c > r + w { "CPU-bound" } else { "I/O-bound" };
+        report.row(&[
+            device.to_string(),
+            format!("{:.1}", r * 100.0),
+            format!("{:.1}", c * 100.0),
+            format!("{:.1}", w * 100.0),
+            verdict.to_string(),
+        ]);
+        eprintln!(
+            "fig5[{device}]: per-step = {:?}",
+            Step::ALL
+                .iter()
+                .map(|s| format!("{}={:.0}%", s.label(), snap.fraction(*s) * 100.0))
+                .collect::<Vec<_>>()
+        );
+    }
+    report.finish("SCP time breakdown into three parts (paper Fig. 5)");
+}

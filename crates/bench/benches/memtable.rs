@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the skiplist memtable: inserts, point
+//! gets and full scans.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcp_lsm::Memtable;
+use pcp_sstable::key::{ValueType, MAX_SEQUENCE};
+use pcp_sstable::KvIter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn filled(n: u64) -> Arc<Memtable> {
+    let mt = Arc::new(Memtable::new());
+    for i in 0..n {
+        let key = format!("key{:012}", (i * 2654435761) % (n * 4));
+        mt.insert(key.as_bytes(), i + 1, ValueType::Value, &[0xAB; 100]);
+    }
+    mt
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable_insert");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("10k_random", |b| {
+        b.iter(|| black_box(filled(10_000)))
+    });
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mt = filled(50_000);
+    c.bench_function("memtable_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 6364136223846793005 + 1) % 200_000;
+            let key = format!("key{:012}", i);
+            black_box(mt.get(key.as_bytes(), MAX_SEQUENCE))
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mt = filled(50_000);
+    let mut g = c.benchmark_group("memtable_scan");
+    g.throughput(Throughput::Elements(mt.len() as u64));
+    g.bench_function("full", |b| {
+        b.iter(|| {
+            let mut it = mt.iter();
+            it.seek_to_first();
+            let mut n = 0usize;
+            while it.valid() {
+                n += 1;
+                it.next();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_get, bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the SSTable layer: block building,
+//! block iteration/seek, table point gets, and the merge step (S4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcp_bench::{build_fixture, mem_env, VALUE_LEN};
+use pcp_sstable::key::{make_internal_key, ValueType};
+use pcp_sstable::{internal_key_cmp, Block, BlockBuilder, KvIter, MergingIter, VecIter};
+use bytes::Bytes;
+use std::hint::black_box;
+
+fn entries(n: usize, stride: usize, offset: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                make_internal_key(
+                    format!("key{:012}", i * stride + offset).as_bytes(),
+                    i as u64 + 1,
+                    ValueType::Value,
+                ),
+                vec![0x5Au8; VALUE_LEN],
+            )
+        })
+        .collect()
+}
+
+fn bench_block_build(c: &mut Criterion) {
+    let ents = entries(32, 1, 0); // ≈ one 4 KB block
+    let bytes: usize = ents.iter().map(|(k, v)| k.len() + v.len()).sum();
+    let mut g = c.benchmark_group("block_build");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("4KiB", |b| {
+        b.iter(|| {
+            let mut bb = BlockBuilder::new(16);
+            for (k, v) in &ents {
+                bb.add(k, v);
+            }
+            black_box(bb.finish())
+        })
+    });
+    g.finish();
+}
+
+fn bench_block_seek(c: &mut Criterion) {
+    let ents = entries(256, 1, 0);
+    let mut bb = BlockBuilder::new(16);
+    for (k, v) in &ents {
+        bb.add(k, v);
+    }
+    let block = Block::new(Bytes::from(bb.finish())).unwrap();
+    c.bench_function("block_seek_middle", |b| {
+        let target = &ents[128].0;
+        b.iter(|| {
+            let mut it = block.iter(internal_key_cmp);
+            it.seek(black_box(target));
+            assert!(it.valid());
+        })
+    });
+}
+
+fn bench_table_get(c: &mut Criterion) {
+    let fixture = build_fixture(mem_env(), 2 << 20, VALUE_LEN, 77);
+    let table = &fixture.lower[0];
+    let n = table.stats().entries;
+    c.bench_function("table_point_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 2654435761 + 12345) % (n * 2);
+            let target = make_internal_key(
+                format!("{i:016}").as_bytes(),
+                u64::MAX >> 9,
+                ValueType::Value,
+            );
+            black_box(table.get(&target).unwrap())
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let a = entries(4096, 2, 0);
+    let b_ = entries(4096, 2, 1);
+    let total: usize = a.iter().chain(b_.iter()).map(|(k, v)| k.len() + v.len()).sum();
+    let mut g = c.benchmark_group("merging_iter");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("two_way_8k_entries", |bch| {
+        bch.iter(|| {
+            let children: Vec<Box<dyn KvIter>> = vec![
+                Box::new(VecIter::new(a.clone(), internal_key_cmp)),
+                Box::new(VecIter::new(b_.clone(), internal_key_cmp)),
+            ];
+            let mut m = MergingIter::new(children, internal_key_cmp);
+            m.seek_to_first();
+            let mut count = 0usize;
+            while m.valid() {
+                count += 1;
+                m.next();
+            }
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_block_build, bench_block_seek, bench_table_get, bench_merge
+}
+criterion_main!(benches);

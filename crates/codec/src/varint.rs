@@ -1,0 +1,162 @@
+//! LEB128-style unsigned varints.
+//!
+//! Shared by the SSTable block format (shared/unshared key lengths, value
+//! lengths), the compressor's length header, the WAL and the manifest. Small
+//! values — by far the common case for 4 KB blocks of 116-byte entries —
+//! encode in one byte.
+
+/// Error returned when a varint cannot be decoded from the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The input ended in the middle of a varint.
+    Truncated,
+    /// The encoding exceeded the maximum width for the target type.
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "truncated varint"),
+            VarintError::Overflow => write!(f, "varint overflows target type"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends `v` to `out` as a varint. Returns the number of bytes written.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        n += 1;
+        if v < 0x80 {
+            out.push(v as u8);
+            return n;
+        }
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+}
+
+/// Appends `v` to `out` as a varint (32-bit convenience wrapper).
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) -> usize {
+    put_u64(out, v as u64)
+}
+
+/// Encodes `v` into a fresh buffer (convenience, allocates).
+pub fn encode_u64(v: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    put_u64(&mut out, v);
+    out
+}
+
+/// Encodes `v` into a fresh buffer (32-bit convenience wrapper).
+pub fn encode_u32(v: u32) -> Vec<u8> {
+    encode_u64(v as u64)
+}
+
+/// Number of bytes [`put_u64`] would write for `v`.
+#[inline]
+pub fn encoded_len_u64(v: u64) -> usize {
+    // 1 + floor(bits/7); bits==0 still needs one byte.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+/// Decodes a varint `u64` from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+#[inline]
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(VarintError::Overflow);
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((result, i + 1));
+        }
+        shift += 7;
+    }
+    Err(VarintError::Truncated)
+}
+
+/// Decodes a varint `u32` from the front of `input`.
+#[inline]
+pub fn decode_u32(input: &[u8]) -> Result<(u32, usize), VarintError> {
+    let (v, n) = decode_u64(input)?;
+    if v > u32::MAX as u64 {
+        return Err(VarintError::Overflow);
+    }
+    Ok((v as u32, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let enc = encode_u64(v);
+            assert_eq!(enc.len(), encoded_len_u64(v), "len mismatch for {v}");
+            let (dec, n) = decode_u64(&enc).unwrap();
+            assert_eq!(dec, v);
+            assert_eq!(n, enc.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_values_encode_in_one_byte() {
+        for v in 0u64..0x80 {
+            assert_eq!(encode_u64(v), vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut enc = encode_u64(u64::MAX);
+        enc.pop();
+        assert_eq!(decode_u64(&enc), Err(VarintError::Truncated));
+        assert_eq!(decode_u64(&[]), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overwide_encoding_is_overflow() {
+        // 11 continuation bytes can never be a valid u64.
+        let bad = [0xFFu8; 11];
+        assert_eq!(decode_u64(&bad), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn u32_rejects_values_above_u32_max() {
+        let enc = encode_u64(u32::MAX as u64 + 1);
+        assert_eq!(decode_u32(&enc), Err(VarintError::Overflow));
+        let ok = encode_u64(u32::MAX as u64);
+        assert_eq!(decode_u32(&ok).unwrap().0, u32::MAX);
+    }
+
+    #[test]
+    fn decode_consumes_only_the_varint() {
+        let mut buf = encode_u64(300);
+        buf.extend_from_slice(b"tail");
+        let (v, n) = decode_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(&buf[n..], b"tail");
+    }
+}

@@ -1,0 +1,43 @@
+//! # pcp-core
+//!
+//! The paper's contribution: **Pipelined Compaction for the LSM-tree**
+//! (Zhang et al., IPDPS 2014), implemented as drop-in
+//! [`pcp_lsm::CompactionExec`] executors plus the supporting machinery.
+//!
+//! One compaction merges the key-value entries of a key range spanning two
+//! adjacent components. The work decomposes into seven steps per unit of
+//! data (Fig. 2):
+//!
+//! | step | name        | resource |
+//! |------|-------------|----------|
+//! | S1   | READ        | disk     |
+//! | S2   | CHECKSUM    | CPU      |
+//! | S3   | DECOMPRESS  | CPU      |
+//! | S4   | SORT/MERGE  | CPU      |
+//! | S5   | COMPRESS    | CPU      |
+//! | S6   | RE-CHECKSUM | CPU      |
+//! | S7   | WRITE       | disk     |
+//!
+//! * [`planner`] — partitions the compaction key range into disjoint
+//!   sub-key ranges ("sub-tasks") aligned to data-block boundaries of both
+//!   components, never splitting one user key across sub-tasks.
+//! * [`steps`] — the seven steps as individually timed functions.
+//! * [`pipeline`] — the executors: [`ScpExec`] (sequential baseline) and
+//!   [`PipelinedExec`] (3-stage read|compute|write pipeline, configurable
+//!   into PCP, C-PPCP — k compute workers with a resequencer — and S-PPCP —
+//!   k read lanes over RAID0).
+//! * [`model`] — the closed-form bandwidth equations Eq. 1–7.
+//! * [`profile`] — per-step time accounting used by the paper's breakdown
+//!   figures (Fig. 5/8/9).
+
+pub mod model;
+pub mod pipeline;
+pub mod planner;
+pub mod profile;
+pub mod steps;
+
+pub use model::{Bottleneck, StepTimes};
+pub use pipeline::{PipelineConfig, PipelinedExec, ScpExec, SealedWriter};
+pub use planner::{check_plan, plan_subtasks, RunBlocks, SubTask};
+pub use profile::{CompactionProfile, ProfileSnapshot, Step};
+pub use steps::{compute_subtask, read_subtask, ComputeConfig, ComputedSubTask, SealedBlock, SubTaskData};

@@ -1,0 +1,694 @@
+//! The compaction executors (paper §III).
+//!
+//! * [`ScpExec`] — the **Sequential Compaction Procedure**: sub-tasks are
+//!   processed one after another, the seven steps strictly in order, on one
+//!   thread. Either the disk or the CPU is busy at any instant, never both
+//!   (Fig. 3).
+//! * [`PipelinedExec`] — the **Pipelined Compaction Procedure** and its
+//!   parallel variants, configured by [`PipelineConfig`]:
+//!   - `compute_workers = 1, read_workers = 1` → **PCP** (Fig. 4): three
+//!     stages — stage-read | stage-compute | stage-write — on three
+//!     threads, connected by bounded queues;
+//!   - `compute_workers = k` → **C-PPCP** (Fig. 7b): k compute workers,
+//!     each processing *whole sub-tasks* (S2–S6 stay on one core for
+//!     d-cache locality, exactly the paper's argument against a deeper
+//!     pipeline), with a resequencer before the write stage;
+//!   - `read_workers = k` → **S-PPCP** (Fig. 7a): k read lanes issuing S1
+//!     for different sub-tasks concurrently; pair with a RAID0-backed
+//!     [`pcp_storage::Env`] so the lanes land on different spindles.
+//!     Writes stay on one lane and stripe inside the array, matching the
+//!     paper's md-RAID0 setup.
+//!
+//! All executors implement [`pcp_lsm::CompactionExec`] and produce
+//! byte-identical output tables for identical inputs (enforced by the
+//! cross-executor integration tests).
+
+use crate::planner::{plan_subtasks, RunBlocks};
+use crate::profile::{CompactionProfile, Step};
+use crate::steps::{
+    compute_subtask, read_subtask, ComputeConfig, ComputedSubTask,
+};
+use crossbeam::channel::bounded;
+use pcp_lsm::{CompactionExec, CompactionRequest, FileMetadata};
+use pcp_lsm::filename::table_file;
+use pcp_sstable::key::user_key;
+use pcp_sstable::{Result as TableResult, TableBuilder, TableReader};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pipeline shape. Defaults correspond to plain PCP with the paper's best
+/// sub-task size on SSD (512 KB, Fig. 11a).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target stored bytes per sub-task.
+    pub subtask_bytes: u64,
+    /// Compute-stage workers (k of C-PPCP).
+    pub compute_workers: usize,
+    /// Read-stage lanes (k of S-PPCP).
+    pub read_workers: usize,
+    /// Bounded-queue capacity between adjacent stages.
+    pub queue_depth: usize,
+    /// Split the compute stage into three pipeline stages (S2+S3 | S4 |
+    /// S5+S6) on three threads — the deeper pipeline the paper argues
+    /// *against* in §III-B (load imbalance, d-cache locality). Kept as a
+    /// real implementation so the ablation can measure the argument.
+    pub deep_compute: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            subtask_bytes: 512 << 10,
+            compute_workers: 1,
+            read_workers: 1,
+            queue_depth: 4,
+            deep_compute: false,
+        }
+    }
+}
+
+fn compute_config(req: &CompactionRequest) -> ComputeConfig {
+    ComputeConfig {
+        block_size: req.table_opts.block_size,
+        restart_interval: req.table_opts.restart_interval,
+        compression: req.table_opts.compression,
+        smallest_snapshot: req.smallest_snapshot,
+        bottom_level: req.bottom_level,
+    }
+}
+
+fn gather_runs(req: &CompactionRequest) -> TableResult<(Vec<Arc<TableReader>>, Vec<RunBlocks>)> {
+    let readers: Vec<Arc<TableReader>> = req
+        .upper
+        .iter()
+        .chain(req.lower.iter())
+        .cloned()
+        .collect();
+    let mut runs = Vec::with_capacity(readers.len());
+    for r in &readers {
+        runs.push(r.block_metas()?);
+    }
+    Ok((readers, runs))
+}
+
+/// Step S7 owner: appends sealed blocks to size-rotated output tables.
+/// One [`SealedWriter::write_subtask`] call flushes once — one write I/O
+/// per sub-task, the unit the paper schedules on the disk.
+pub struct SealedWriter<'req> {
+    req: &'req CompactionRequest,
+    profile: &'req CompactionProfile,
+    builder: Option<(u64, TableBuilder)>,
+    smallest: Vec<u8>,
+    last_user_key: Vec<u8>,
+    outputs: Vec<Arc<FileMetadata>>,
+}
+
+impl<'req> SealedWriter<'req> {
+    /// Creates a writer for `req`'s output level.
+    pub fn new(req: &'req CompactionRequest, profile: &'req CompactionProfile) -> Self {
+        SealedWriter {
+            req,
+            profile,
+            builder: None,
+            smallest: Vec::new(),
+            last_user_key: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends one computed sub-task (S7) and flushes it to the device.
+    pub fn write_subtask(&mut self, st: ComputedSubTask) -> TableResult<()> {
+        let t0 = Instant::now();
+        let mut appended = 0u64;
+        for sb in &st.blocks {
+            let rotate = self
+                .builder
+                .as_ref()
+                .is_some_and(|(_, b)| b.estimated_size() >= self.req.max_output_bytes)
+                && user_key(&sb.first_key) != self.last_user_key.as_slice();
+            if rotate {
+                self.finish_current()?;
+            }
+            if self.builder.is_none() {
+                let number = self.req.next_file_number();
+                let file = self.req.env.create(&table_file(number))?;
+                self.builder = Some((
+                    number,
+                    TableBuilder::new(file, self.req.table_opts.clone()),
+                ));
+                self.smallest = sb.first_key.clone();
+            }
+            let (_, b) = self.builder.as_mut().expect("builder");
+            b.add_sealed_block(
+                &sb.raw,
+                &sb.first_key,
+                &sb.last_key,
+                sb.entries,
+                sb.raw_len,
+                &sb.bloom_hashes,
+            )?;
+            appended += sb.raw.len() as u64;
+            self.last_user_key.clear();
+            self.last_user_key.extend_from_slice(user_key(&sb.last_key));
+        }
+        if let Some((_, b)) = &mut self.builder {
+            b.flush_io()?;
+        }
+        self.profile.record(Step::Write, t0.elapsed());
+        self.profile.add_output_bytes(appended);
+        self.profile.add_subtasks(1);
+        Ok(())
+    }
+
+    fn finish_current(&mut self) -> TableResult<()> {
+        if let Some((number, builder)) = self.builder.take() {
+            let largest = builder.last_key().to_vec();
+            let stats = builder.finish()?;
+            // Footer/index/filter bytes beyond the sealed data blocks.
+            self.profile.add_output_bytes(
+                stats
+                    .file_size
+                    .saturating_sub(self.outputs_last_data_bytes(stats.file_size)),
+            );
+            self.outputs.push(Arc::new(FileMetadata {
+                number,
+                size: stats.file_size,
+                entries: stats.entries,
+                smallest: std::mem::take(&mut self.smallest),
+                largest,
+            }));
+        }
+        Ok(())
+    }
+
+    // Data bytes were already counted per append; approximate the metadata
+    // overhead as zero here to avoid double counting (kept as a hook).
+    fn outputs_last_data_bytes(&self, file_size: u64) -> u64 {
+        file_size
+    }
+
+    /// Finishes the trailing table; returns outputs in key order.
+    pub fn finish(mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
+        let t0 = Instant::now();
+        self.finish_current()?;
+        self.profile.record(Step::Write, t0.elapsed());
+        Ok(self.outputs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCP
+// ---------------------------------------------------------------------------
+
+/// The sequential baseline (paper §III-A).
+pub struct ScpExec {
+    /// Sub-task size: in SCP this is simply the I/O granularity.
+    pub subtask_bytes: u64,
+    profile: Arc<CompactionProfile>,
+}
+
+impl ScpExec {
+    /// SCP with the given I/O granularity.
+    pub fn new(subtask_bytes: u64) -> ScpExec {
+        ScpExec {
+            subtask_bytes,
+            profile: Arc::new(CompactionProfile::new()),
+        }
+    }
+
+    /// Shared step profile.
+    pub fn profile(&self) -> Arc<CompactionProfile> {
+        Arc::clone(&self.profile)
+    }
+}
+
+impl Default for ScpExec {
+    fn default() -> Self {
+        ScpExec::new(512 << 10)
+    }
+}
+
+impl CompactionExec for ScpExec {
+    fn name(&self) -> &'static str {
+        "scp"
+    }
+
+    fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
+        let wall = Instant::now();
+        let (readers, runs) = gather_runs(req)?;
+        let plan = plan_subtasks(&runs, self.subtask_bytes);
+        let ccfg = compute_config(req);
+        let mut writer = SealedWriter::new(req, &self.profile);
+        for st in &plan {
+            // S1 … S7 strictly in order; one resource busy at a time.
+            let data = read_subtask(&readers, st, &self.profile)?;
+            let computed = compute_subtask(data, &ccfg, &self.profile)?;
+            writer.write_subtask(computed)?;
+        }
+        let outputs = writer.finish()?;
+        self.profile.add_compaction(wall.elapsed());
+        Ok(outputs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCP / C-PPCP / S-PPCP
+// ---------------------------------------------------------------------------
+
+/// The pipelined executor (PCP and both parallel variants).
+pub struct PipelinedExec {
+    cfg: PipelineConfig,
+    profile: Arc<CompactionProfile>,
+}
+
+impl PipelinedExec {
+    /// Builds an executor with an explicit shape.
+    pub fn new(cfg: PipelineConfig) -> PipelinedExec {
+        assert!(cfg.compute_workers >= 1 && cfg.read_workers >= 1);
+        assert!(cfg.queue_depth >= 1);
+        PipelinedExec {
+            cfg,
+            profile: Arc::new(CompactionProfile::new()),
+        }
+    }
+
+    /// Plain PCP: 1 read lane, 1 compute worker, 1 write lane.
+    pub fn pcp(subtask_bytes: u64) -> PipelinedExec {
+        PipelinedExec::new(PipelineConfig {
+            subtask_bytes,
+            ..Default::default()
+        })
+    }
+
+    /// C-PPCP with `k` compute workers.
+    pub fn c_ppcp(subtask_bytes: u64, k: usize) -> PipelinedExec {
+        PipelinedExec::new(PipelineConfig {
+            subtask_bytes,
+            compute_workers: k,
+            ..Default::default()
+        })
+    }
+
+    /// S-PPCP with `k` read lanes (pair with a RAID0-backed env).
+    pub fn s_ppcp(subtask_bytes: u64, k: usize) -> PipelinedExec {
+        PipelinedExec::new(PipelineConfig {
+            subtask_bytes,
+            read_workers: k,
+            ..Default::default()
+        })
+    }
+
+    /// Shared step profile.
+    pub fn profile(&self) -> Arc<CompactionProfile> {
+        Arc::clone(&self.profile)
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+}
+
+impl CompactionExec for PipelinedExec {
+    fn name(&self) -> &'static str {
+        if self.cfg.deep_compute {
+            return "pcp-deep";
+        }
+        match (self.cfg.read_workers, self.cfg.compute_workers) {
+            (1, 1) => "pcp",
+            (_, 1) => "s-ppcp",
+            (1, _) => "c-ppcp",
+            _ => "sc-ppcp",
+        }
+    }
+
+    fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
+        let wall = Instant::now();
+        let (readers, runs) = gather_runs(req)?;
+        let plan = plan_subtasks(&runs, self.cfg.subtask_bytes);
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert!(crate::planner::check_plan(&runs, &plan).is_ok());
+        let ccfg = compute_config(req);
+        let profile = &*self.profile;
+
+        let (read_tx, read_rx) = bounded::<TableResult<crate::steps::SubTaskData>>(
+            self.cfg.queue_depth,
+        );
+        let (comp_tx, comp_rx) =
+            bounded::<TableResult<ComputedSubTask>>(self.cfg.queue_depth);
+
+        let mut result: TableResult<Vec<Arc<FileMetadata>>> = Ok(Vec::new());
+        std::thread::scope(|scope| {
+            // Stage read: `read_workers` lanes, sub-tasks round-robin.
+            for lane in 0..self.cfg.read_workers {
+                let read_tx = read_tx.clone();
+                let readers = &readers;
+                let plan = &plan;
+                let lanes = self.cfg.read_workers;
+                scope.spawn(move || {
+                    for st in plan.iter().filter(|st| st.index % lanes == lane) {
+                        let item = read_subtask(readers, st, profile);
+                        let failed = item.is_err();
+                        if read_tx.send(item).is_err() || failed {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(read_tx);
+
+            if self.cfg.deep_compute {
+                // Five-stage variant: S2+S3 | S4 | S5+S6 on three chained
+                // threads (the paper's rejected design, for the ablation).
+                let (dec_tx, dec_rx) =
+                    bounded::<TableResult<crate::steps::DecodedSubTask>>(self.cfg.queue_depth);
+                let (mrg_tx, mrg_rx) =
+                    bounded::<TableResult<crate::steps::MergedSubTask>>(self.cfg.queue_depth);
+                {
+                    let read_rx = read_rx.clone();
+                    scope.spawn(move || {
+                        while let Ok(item) = read_rx.recv() {
+                            let out = item
+                                .and_then(|data| crate::steps::verify_decompress(data, profile));
+                            let failed = out.is_err();
+                            if dec_tx.send(out).is_err() || failed {
+                                return;
+                            }
+                        }
+                    });
+                }
+                {
+                    let ccfg = &ccfg;
+                    scope.spawn(move || {
+                        while let Ok(item) = dec_rx.recv() {
+                            let out = item
+                                .and_then(|dec| crate::steps::merge_subtask(dec, ccfg, profile));
+                            let failed = out.is_err();
+                            if mrg_tx.send(out).is_err() || failed {
+                                return;
+                            }
+                        }
+                    });
+                }
+                {
+                    let comp_tx = comp_tx.clone();
+                    let ccfg = &ccfg;
+                    scope.spawn(move || {
+                        while let Ok(item) = mrg_rx.recv() {
+                            let out =
+                                item.and_then(|m| crate::steps::seal_subtask(m, ccfg, profile));
+                            let failed = out.is_err();
+                            if comp_tx.send(out).is_err() || failed {
+                                return;
+                            }
+                        }
+                    });
+                }
+            } else {
+                // Stage compute: whole sub-tasks per worker (the paper's
+                // chosen design — d-cache locality, no imbalance).
+                for _ in 0..self.cfg.compute_workers {
+                    let read_rx = read_rx.clone();
+                    let comp_tx = comp_tx.clone();
+                    let ccfg = &ccfg;
+                    scope.spawn(move || {
+                        while let Ok(item) = read_rx.recv() {
+                            let out = item.and_then(|data| compute_subtask(data, ccfg, profile));
+                            let failed = out.is_err();
+                            if comp_tx.send(out).is_err() || failed {
+                                return;
+                            }
+                        }
+                    });
+                }
+            }
+            drop(comp_tx);
+            drop(read_rx);
+
+            // Stage write on this thread, resequencing by sub-task index so
+            // the output tables are written in key order no matter how the
+            // compute workers finish.
+            let mut writer = SealedWriter::new(req, profile);
+            let mut pending: BTreeMap<usize, ComputedSubTask> = BTreeMap::new();
+            let mut next = 0usize;
+            let mut failure: Option<pcp_sstable::TableError> = None;
+            for item in comp_rx.iter() {
+                match item {
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                    Ok(st) => {
+                        pending.insert(st.index, st);
+                        while let Some(st) = pending.remove(&next) {
+                            if let Err(e) = writer.write_subtask(st) {
+                                failure = Some(e);
+                                break;
+                            }
+                            next += 1;
+                        }
+                        if failure.is_some() {
+                            break;
+                        }
+                    }
+                }
+            }
+            result = match failure {
+                Some(e) => Err(e),
+                None => {
+                    debug_assert_eq!(next, plan.len(), "all sub-tasks written");
+                    writer.finish()
+                }
+            };
+        });
+        if result.is_ok() {
+            self.profile.add_compaction(wall.elapsed());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_lsm::filename::table_file;
+    use pcp_sstable::key::{make_internal_key, ValueType, MAX_SEQUENCE};
+    use pcp_sstable::{KvIter, TableBuilderOptions};
+    use pcp_storage::{EnvRef, SimDevice, SimEnv};
+    use std::sync::atomic::AtomicU64;
+
+    fn env() -> EnvRef {
+        Arc::new(SimEnv::new(Arc::new(SimDevice::mem(512 << 20))))
+    }
+
+    /// Deterministic incompressible filler so stored sizes track entry
+    /// counts (and are identical across executors).
+    fn filler(i: usize, tag: &str, len: usize) -> Vec<u8> {
+        let mut x = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (tag.len() as u64) << 32;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    }
+
+    /// Builds an input table with `n` entries starting at `seq0`, keys
+    /// `key%06d` stepped by `stride`.
+    fn build_input(
+        env: &EnvRef,
+        name: &str,
+        n: usize,
+        seq0: u64,
+        stride: usize,
+        tag: &str,
+    ) -> Arc<TableReader> {
+        let f = env.create(name).unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        for i in 0..n {
+            let ik = make_internal_key(
+                format!("key{:06}", i * stride).as_bytes(),
+                seq0 + i as u64,
+                ValueType::Value,
+            );
+            let mut value = format!("{tag}-{i}-").into_bytes();
+            value.extend_from_slice(&filler(i, tag, 80));
+            b.add(&ik, &value).unwrap();
+        }
+        b.finish().unwrap();
+        Arc::new(TableReader::open(env.open(name).unwrap()).unwrap())
+    }
+
+    fn request(env: &EnvRef, upper: Vec<Arc<TableReader>>, lower: Vec<Arc<TableReader>>) -> CompactionRequest {
+        CompactionRequest {
+            env: Arc::clone(env),
+            upper,
+            lower,
+            output_level: 1,
+            bottom_level: true,
+            smallest_snapshot: MAX_SEQUENCE,
+            file_numbers: Arc::new(AtomicU64::new(1000)),
+            table_opts: TableBuilderOptions::default(),
+            max_output_bytes: 256 << 10,
+        }
+    }
+
+    fn read_everything(env: &EnvRef, outputs: &[Arc<FileMetadata>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = Vec::new();
+        for meta in outputs {
+            let t = Arc::new(
+                TableReader::open(env.open(&table_file(meta.number)).unwrap()).unwrap(),
+            );
+            let mut it = t.iter();
+            it.seek_to_first();
+            while it.valid() {
+                all.push((it.key().to_vec(), it.value().to_vec()));
+                it.next();
+            }
+        }
+        all
+    }
+
+    fn run_exec(exec: &dyn CompactionExec, n: usize) -> (Vec<(Vec<u8>, Vec<u8>)>, usize) {
+        let env = env();
+        let upper = build_input(&env, "u.sst", n, 100_000, 2, "new");
+        let lower = build_input(&env, "l.sst", n, 1, 3, "old");
+        let req = request(&env, vec![upper], vec![lower]);
+        let outputs = exec.compact(&req).unwrap();
+        (read_everything(&env, &outputs), outputs.len())
+    }
+
+    #[test]
+    fn all_executors_produce_identical_output() {
+        let n = 3000;
+        let (scp, scp_files) = run_exec(&ScpExec::new(64 << 10), n);
+        for exec in [
+            PipelinedExec::pcp(64 << 10),
+            PipelinedExec::c_ppcp(64 << 10, 3),
+            PipelinedExec::s_ppcp(64 << 10, 3),
+            PipelinedExec::new(PipelineConfig {
+                subtask_bytes: 64 << 10,
+                compute_workers: 2,
+                read_workers: 2,
+                queue_depth: 2,
+                deep_compute: false,
+            }),
+            PipelinedExec::new(PipelineConfig {
+                subtask_bytes: 64 << 10,
+                deep_compute: true,
+                ..Default::default()
+            }),
+        ] {
+            let (out, files) = run_exec(&exec, n);
+            assert_eq!(out.len(), scp.len(), "{} entry count", exec.name());
+            assert_eq!(out, scp, "{} diverged from SCP", exec.name());
+            assert_eq!(files, scp_files, "{} file count", exec.name());
+        }
+    }
+
+    #[test]
+    fn merge_semantics_newest_wins_across_components() {
+        let env = env();
+        // Upper rewrites every 2nd key of lower with newer sequences.
+        let upper = build_input(&env, "u.sst", 500, 10_000, 2, "new");
+        let lower = build_input(&env, "l.sst", 1000, 1, 1, "old");
+        let req = request(&env, vec![upper], vec![lower]);
+        let exec = PipelinedExec::pcp(32 << 10);
+        let outputs = exec.compact(&req).unwrap();
+        let all = read_everything(&env, &outputs);
+        assert_eq!(all.len(), 1000, "one version per user key");
+        for (ik, v) in &all {
+            let p = pcp_sstable::parse_internal_key(ik).unwrap();
+            let idx: usize = std::str::from_utf8(&p.user_key[3..])
+                .unwrap()
+                .parse()
+                .unwrap();
+            if idx % 2 == 0 {
+                assert!(v.starts_with(b"new-"), "key {idx} must be rewritten");
+            } else {
+                assert!(v.starts_with(b"old-"), "key {idx} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_respect_max_file_size_and_disjointness() {
+        let env = env();
+        let upper = build_input(&env, "u.sst", 5000, 1, 1, "x");
+        let req = request(&env, vec![upper], vec![]);
+        let exec = PipelinedExec::pcp(64 << 10);
+        let outputs = exec.compact(&req).unwrap();
+        assert!(outputs.len() > 1, "rotation expected");
+        for w in outputs.windows(2) {
+            assert!(user_key(&w[0].largest) < user_key(&w[1].smallest));
+        }
+        let total: u64 = outputs.iter().map(|f| f.entries).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_outputs() {
+        let env = env();
+        let req = request(&env, vec![], vec![]);
+        assert!(PipelinedExec::pcp(64 << 10).compact(&req).unwrap().is_empty());
+        assert!(ScpExec::new(64 << 10).compact(&req).unwrap().is_empty());
+    }
+
+    #[test]
+    fn profile_records_all_seven_steps() {
+        let env = env();
+        let upper = build_input(&env, "u.sst", 2000, 1, 1, "x");
+        let req = request(&env, vec![upper], vec![]);
+        let exec = PipelinedExec::pcp(64 << 10);
+        exec.compact(&req).unwrap();
+        let snap = exec.profile().snapshot();
+        for s in crate::profile::Step::ALL {
+            assert!(
+                snap.time(s) > std::time::Duration::ZERO,
+                "step {} unrecorded",
+                s.label()
+            );
+        }
+        assert!(snap.subtasks > 1);
+        assert_eq!(snap.compactions, 1);
+        assert!(snap.entries_in >= 2000);
+        assert!(snap.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn executor_names() {
+        assert_eq!(ScpExec::default().name(), "scp");
+        assert_eq!(PipelinedExec::pcp(1 << 20).name(), "pcp");
+        assert_eq!(PipelinedExec::c_ppcp(1 << 20, 4).name(), "c-ppcp");
+        assert_eq!(PipelinedExec::s_ppcp(1 << 20, 4).name(), "s-ppcp");
+    }
+
+    #[test]
+    fn tombstones_dropped_at_bottom_via_pipeline() {
+        let env = env();
+        // Upper: tombstones for every key in lower.
+        let f = env.create("u.sst").unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        for i in 0..500 {
+            let ik = make_internal_key(
+                format!("key{:06}", i).as_bytes(),
+                10_000 + i as u64,
+                ValueType::Deletion,
+            );
+            b.add(&ik, b"").unwrap();
+        }
+        b.finish().unwrap();
+        let upper = Arc::new(TableReader::open(env.open("u.sst").unwrap()).unwrap());
+        let lower = build_input(&env, "l.sst", 500, 1, 1, "old");
+        let req = request(&env, vec![upper], vec![lower]);
+        let outputs = PipelinedExec::pcp(32 << 10).compact(&req).unwrap();
+        let all = read_everything(&env, &outputs);
+        assert!(all.is_empty(), "everything annihilates at the bottom level");
+    }
+}

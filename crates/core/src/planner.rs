@@ -1,0 +1,312 @@
+//! Sub-task planning (paper §III-B).
+//!
+//! PCP "partitions the compaction key range into multiple sub-key ranges;
+//! each sub-key range consists of one or more data blocks". Because the
+//! data blocks of one component never overlap, sub-tasks are independent —
+//! that independence is the parallelism every executor exploits.
+//!
+//! The planner takes the data-block metadata of every input *run* (one run
+//! per input table; runs are internally sorted and disjoint) and produces
+//! ordered sub-tasks such that:
+//!
+//! 1. every input block lands in exactly one sub-task, preserving per-run
+//!    order (blocks of one run inside a sub-task are contiguous);
+//! 2. sub-key ranges are disjoint and ordered: the largest user key of
+//!    sub-task *i* is strictly below the smallest user key of *i+1*;
+//! 3. no user key's version chain is split across sub-tasks (so the
+//!    version-visibility filter can run per sub-task);
+//! 4. each sub-task carries ≈ `target_bytes` of stored data, except where
+//!    overlap clusters force more.
+//!
+//! The algorithm sweeps all block intervals in user-key order, grouping
+//! overlapping (or key-sharing) intervals into indivisible *clusters*, then
+//! packs clusters into sub-tasks up to the size target.
+
+use pcp_sstable::key::user_key;
+use pcp_sstable::table::BlockMeta;
+
+/// Block list of one input run (one table), in key order.
+pub type RunBlocks = Vec<BlockMeta>;
+
+/// One unit of pipelined work: a disjoint sub-key range with its blocks.
+#[derive(Debug, Clone)]
+pub struct SubTask {
+    /// Position in key order; the write stage resequences by this.
+    pub index: usize,
+    /// Blocks per run (parallel to the planner's input), each contiguous
+    /// and in key order. Runs without blocks in this range are empty.
+    pub blocks: Vec<Vec<BlockMeta>>,
+    /// Stored (compressed, incl. trailers) bytes in this sub-task.
+    pub bytes: u64,
+}
+
+impl SubTask {
+    /// Smallest user key covered.
+    pub fn first_user_key(&self) -> &[u8] {
+        self.blocks
+            .iter()
+            .flatten()
+            .map(|b| user_key(&b.first_key))
+            .min()
+            .expect("non-empty sub-task")
+    }
+
+    /// Largest user key covered.
+    pub fn last_user_key(&self) -> &[u8] {
+        self.blocks
+            .iter()
+            .flatten()
+            .map(|b| user_key(&b.last_key))
+            .max()
+            .expect("non-empty sub-task")
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Total entries across blocks.
+    pub fn entry_count(&self) -> u64 {
+        self.blocks.iter().flatten().map(|b| b.entries).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    run: usize,
+    /// Block index within the run.
+    idx: usize,
+    first: Vec<u8>,
+    last: Vec<u8>,
+    bytes: u64,
+}
+
+/// Partitions `runs` into sub-tasks of ≈ `target_bytes` stored bytes.
+pub fn plan_subtasks(runs: &[RunBlocks], target_bytes: u64) -> Vec<SubTask> {
+    assert!(target_bytes > 0, "target_bytes must be positive");
+    let mut intervals: Vec<Interval> = Vec::new();
+    for (run, blocks) in runs.iter().enumerate() {
+        for (idx, b) in blocks.iter().enumerate() {
+            debug_assert!(idx == 0 || user_key(&blocks[idx - 1].last_key) <= user_key(&b.first_key));
+            intervals.push(Interval {
+                run,
+                idx,
+                first: user_key(&b.first_key).to_vec(),
+                last: user_key(&b.last_key).to_vec(),
+                bytes: b.stored_size(),
+            });
+        }
+    }
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    intervals.sort_by(|a, b| a.first.cmp(&b.first).then(a.last.cmp(&b.last)));
+
+    // Sweep into clusters: a new cluster starts only when the next interval
+    // begins strictly after everything seen so far (`>` not `>=`, so blocks
+    // sharing a boundary user key stay together — rule 3).
+    let mut clusters: Vec<(Vec<Interval>, u64)> = Vec::new();
+    let mut current: Vec<Interval> = Vec::new();
+    let mut current_end: Vec<u8> = Vec::new();
+    let mut current_bytes = 0u64;
+    for iv in intervals {
+        if !current.is_empty() && iv.first > current_end {
+            clusters.push((std::mem::take(&mut current), current_bytes));
+            current_bytes = 0;
+        }
+        if iv.last > current_end {
+            current_end = iv.last.clone();
+        }
+        current_bytes += iv.bytes;
+        current.push(iv);
+    }
+    clusters.push((current, current_bytes));
+
+    // Pack clusters into sub-tasks.
+    let mut subtasks = Vec::new();
+    let mut acc: Vec<Interval> = Vec::new();
+    let mut acc_bytes = 0u64;
+    let flush =
+        |acc: &mut Vec<Interval>, acc_bytes: &mut u64, subtasks: &mut Vec<SubTask>| {
+            if acc.is_empty() {
+                return;
+            }
+            let mut blocks: Vec<Vec<BlockMeta>> = vec![Vec::new(); runs.len()];
+            let mut members: Vec<&Interval> = acc.iter().collect();
+            members.sort_by_key(|iv| (iv.run, iv.idx));
+            for iv in members {
+                blocks[iv.run].push(runs[iv.run][iv.idx].clone());
+            }
+            subtasks.push(SubTask {
+                index: subtasks.len(),
+                blocks,
+                bytes: *acc_bytes,
+            });
+            acc.clear();
+            *acc_bytes = 0;
+        };
+    for (cluster, bytes) in clusters {
+        acc.extend(cluster);
+        acc_bytes += bytes;
+        if acc_bytes >= target_bytes {
+            flush(&mut acc, &mut acc_bytes, &mut subtasks);
+        }
+    }
+    flush(&mut acc, &mut acc_bytes, &mut subtasks);
+    subtasks
+}
+
+/// Asserts the planner's guarantees against the inputs (used by tests and
+/// debug builds of the executors).
+pub fn check_plan(runs: &[RunBlocks], subtasks: &[SubTask]) -> Result<(), String> {
+    // Rule 1: exact coverage, contiguous and ordered per run.
+    for (r, run) in runs.iter().enumerate() {
+        let mut covered = Vec::new();
+        for st in subtasks {
+            covered.extend(st.blocks[r].iter().cloned());
+        }
+        if covered.len() != run.len() {
+            return Err(format!(
+                "run {r}: {} blocks planned, {} in input",
+                covered.len(),
+                run.len()
+            ));
+        }
+        for (a, b) in covered.iter().zip(run.iter()) {
+            if a != b {
+                return Err(format!("run {r}: block order or identity mismatch"));
+            }
+        }
+    }
+    // Rules 2 + 3: strictly increasing, non-touching user-key ranges.
+    for w in subtasks.windows(2) {
+        if w[0].last_user_key() >= w[1].first_user_key() {
+            return Err(format!(
+                "sub-tasks {} and {} share or overlap user keys",
+                w[0].index, w[1].index
+            ));
+        }
+    }
+    for (i, st) in subtasks.iter().enumerate() {
+        if st.index != i {
+            return Err("sub-task indices must be dense and ordered".into());
+        }
+        if st.block_count() == 0 {
+            return Err("empty sub-task".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_sstable::key::{make_internal_key, ValueType};
+    use pcp_sstable::table::BlockHandle;
+
+    /// Builds a block meta covering user keys [lo, hi] with given size.
+    fn block(lo: &str, hi: &str, bytes: u64) -> BlockMeta {
+        BlockMeta {
+            handle: BlockHandle {
+                offset: 0,
+                size: bytes.saturating_sub(5),
+            },
+            first_key: make_internal_key(lo.as_bytes(), 10, ValueType::Value),
+            last_key: make_internal_key(hi.as_bytes(), 1, ValueType::Value),
+            entries: 10,
+        }
+    }
+
+    #[test]
+    fn single_run_packs_by_size() {
+        let run: RunBlocks = (0..10)
+            .map(|i| block(&format!("k{i:02}a"), &format!("k{i:02}z"), 100))
+            .collect();
+        let plan = plan_subtasks(&[run.clone()], 250);
+        check_plan(&[run], &plan).unwrap();
+        assert!(plan.len() >= 3, "10 blocks * 100B at 250B target: {}", plan.len());
+        for st in &plan[..plan.len() - 1] {
+            assert!(st.bytes >= 250);
+        }
+    }
+
+    #[test]
+    fn overlapping_runs_cluster_together() {
+        // Upper block [b, m] overlaps lower blocks [a, c] and [k, n]:
+        // all three must land in one sub-task.
+        let upper = vec![block("b", "m", 100)];
+        let lower = vec![block("a", "c", 100), block("k", "n", 100), block("p", "q", 100)];
+        let plan = plan_subtasks(&[upper.clone(), lower.clone()], 1);
+        check_plan(&[upper, lower], &plan).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].block_count(), 3);
+        assert_eq!(plan[1].block_count(), 1);
+        assert_eq!(plan[1].first_user_key(), b"p");
+    }
+
+    #[test]
+    fn shared_boundary_user_key_never_splits() {
+        // Upper ends at "k"; lower starts at "k": same user key, one task.
+        let upper = vec![block("a", "k", 100)];
+        let lower = vec![block("k", "z", 100)];
+        let plan = plan_subtasks(&[upper.clone(), lower.clone()], 1);
+        check_plan(&[upper, lower], &plan).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].block_count(), 2);
+    }
+
+    #[test]
+    fn disjoint_runs_interleave_in_key_order() {
+        let a = vec![block("a", "b", 50), block("e", "f", 50)];
+        let b = vec![block("c", "d", 50), block("g", "h", 50)];
+        let plan = plan_subtasks(&[a.clone(), b.clone()], 1);
+        check_plan(&[a, b], &plan).unwrap();
+        assert_eq!(plan.len(), 4);
+        let firsts: Vec<&[u8]> = plan.iter().map(|s| s.first_user_key()).collect();
+        assert_eq!(firsts, vec![b"a".as_slice(), b"c", b"e", b"g"]);
+    }
+
+    #[test]
+    fn empty_input_plans_nothing() {
+        assert!(plan_subtasks(&[], 1024).is_empty());
+        assert!(plan_subtasks(&[Vec::new(), Vec::new()], 1024).is_empty());
+    }
+
+    #[test]
+    fn one_giant_cluster_is_one_subtask() {
+        // Every block overlaps the next: nothing can be split.
+        let upper: RunBlocks = (0..5)
+            .map(|i| block(&format!("k{i}"), &format!("k{}", i + 1), 1000))
+            .collect();
+        let plan = plan_subtasks(&[upper.clone()], 100);
+        check_plan(&[upper], &plan).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].block_count(), 5);
+        assert!(plan[0].bytes >= 5000);
+    }
+
+    #[test]
+    fn large_target_yields_single_subtask() {
+        let run: RunBlocks = (0..20)
+            .map(|i| block(&format!("k{i:02}a"), &format!("k{i:02}z"), 100))
+            .collect();
+        let plan = plan_subtasks(&[run.clone()], u64::MAX);
+        check_plan(&[run], &plan).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].entry_count(), 200);
+    }
+
+    #[test]
+    fn three_runs_l0_style_overlap() {
+        // Three L0-style runs all covering the same range: one cluster.
+        let runs: Vec<RunBlocks> = (0..3)
+            .map(|_| vec![block("a", "m", 100), block("n", "z", 100)])
+            .collect();
+        let plan = plan_subtasks(&runs, 100);
+        check_plan(&runs, &plan).unwrap();
+        assert_eq!(plan.len(), 2, "split between m and n only");
+        assert_eq!(plan[0].block_count(), 3);
+        assert_eq!(plan[1].block_count(), 3);
+    }
+}

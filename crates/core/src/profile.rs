@@ -1,0 +1,294 @@
+//! Per-step time accounting.
+//!
+//! Every executor records how long each of the seven compaction steps took
+//! and how many bytes/blocks/entries flowed through. The Fig. 5/8/9
+//! harnesses read these to print execution-time breakdowns, and the
+//! measured per-byte costs calibrate both the analytical model (Eq. 1–7)
+//! and the discrete-event simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// The seven compaction steps of paper Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    Read = 0,
+    Checksum = 1,
+    Decompress = 2,
+    Sort = 3,
+    Compress = 4,
+    ReChecksum = 5,
+    Write = 6,
+}
+
+impl Step {
+    /// All steps in execution order.
+    pub const ALL: [Step; 7] = [
+        Step::Read,
+        Step::Checksum,
+        Step::Decompress,
+        Step::Sort,
+        Step::Compress,
+        Step::ReChecksum,
+        Step::Write,
+    ];
+
+    /// Short name used in reports ("read", "crc", "decomp", …), matching
+    /// the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Step::Read => "read",
+            Step::Checksum => "crc",
+            Step::Decompress => "decomp",
+            Step::Sort => "sort",
+            Step::Compress => "comp",
+            Step::ReChecksum => "re-crc",
+            Step::Write => "write",
+        }
+    }
+
+    /// True for the steps that use the I/O resource (S1, S7).
+    pub fn is_io(&self) -> bool {
+        matches!(self, Step::Read | Step::Write)
+    }
+}
+
+/// Thread-safe accumulator shared by all pipeline stages of one (or many)
+/// compactions.
+#[derive(Debug, Default)]
+pub struct CompactionProfile {
+    step_nanos: [AtomicU64; 7],
+    input_bytes: AtomicU64,
+    output_bytes: AtomicU64,
+    raw_bytes: AtomicU64,
+    blocks: AtomicU64,
+    entries_in: AtomicU64,
+    entries_out: AtomicU64,
+    subtasks: AtomicU64,
+    compactions: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl CompactionProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to step `s`.
+    pub fn record(&self, s: Step, d: Duration) {
+        self.step_nanos[s as usize].fetch_add(d.as_nanos() as u64, Relaxed);
+    }
+
+    pub fn add_input_bytes(&self, n: u64) {
+        self.input_bytes.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_output_bytes(&self, n: u64) {
+        self.output_bytes.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_raw_bytes(&self, n: u64) {
+        self.raw_bytes.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_blocks(&self, n: u64) {
+        self.blocks.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_entries_in(&self, n: u64) {
+        self.entries_in.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_entries_out(&self, n: u64) {
+        self.entries_out.fetch_add(n, Relaxed);
+    }
+
+    pub fn add_subtasks(&self, n: u64) {
+        self.subtasks.fetch_add(n, Relaxed);
+    }
+
+    /// Records one whole-compaction wall time.
+    pub fn add_compaction(&self, wall: Duration) {
+        self.compactions.fetch_add(1, Relaxed);
+        self.wall_nanos.fetch_add(wall.as_nanos() as u64, Relaxed);
+    }
+
+    /// Plain-data snapshot.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            step_time: std::array::from_fn(|i| {
+                Duration::from_nanos(self.step_nanos[i].load(Relaxed))
+            }),
+            input_bytes: self.input_bytes.load(Relaxed),
+            output_bytes: self.output_bytes.load(Relaxed),
+            raw_bytes: self.raw_bytes.load(Relaxed),
+            blocks: self.blocks.load(Relaxed),
+            entries_in: self.entries_in.load(Relaxed),
+            entries_out: self.entries_out.load(Relaxed),
+            subtasks: self.subtasks.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
+            wall_time: Duration::from_nanos(self.wall_nanos.load(Relaxed)),
+        }
+    }
+}
+
+/// Immutable view of a [`CompactionProfile`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileSnapshot {
+    /// Accumulated time per step, indexed by [`Step`] discriminant.
+    pub step_time: [Duration; 7],
+    /// Compressed bytes read (step S1 volume).
+    pub input_bytes: u64,
+    /// Compressed bytes written (step S7 volume).
+    pub output_bytes: u64,
+    /// Uncompressed bytes that flowed through the compute stage.
+    pub raw_bytes: u64,
+    /// Data blocks processed.
+    pub blocks: u64,
+    /// Entries merged in.
+    pub entries_in: u64,
+    /// Entries surviving to the output.
+    pub entries_out: u64,
+    /// Sub-tasks executed.
+    pub subtasks: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Total wall time across compactions.
+    pub wall_time: Duration,
+}
+
+impl ProfileSnapshot {
+    /// Time for one step.
+    pub fn time(&self, s: Step) -> Duration {
+        self.step_time[s as usize]
+    }
+
+    /// Σ all seven steps.
+    pub fn total_step_time(&self) -> Duration {
+        self.step_time.iter().sum()
+    }
+
+    /// Fraction of total step time spent in `s` (0 when nothing ran).
+    pub fn fraction(&self, s: Step) -> f64 {
+        let total = self.total_step_time().as_secs_f64();
+        if total > 0.0 {
+            self.time(s).as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate read / compute / write split (Fig. 5's three parts).
+    pub fn three_part_split(&self) -> (f64, f64, f64) {
+        let read = self.fraction(Step::Read);
+        let write = self.fraction(Step::Write);
+        (read, 1.0 - read - write, write)
+    }
+
+    /// Compaction bandwidth in bytes/second: total data moved
+    /// (input + output) over wall time — the paper's headline metric.
+    pub fn bandwidth(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            (self.input_bytes + self.output_bytes) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-sub-task mean step times in seconds, for the analytical model.
+    pub fn mean_step_seconds(&self) -> [f64; 7] {
+        let n = self.subtasks.max(1) as f64;
+        std::array::from_fn(|i| self.step_time[i].as_secs_f64() / n)
+    }
+
+    /// Counter-wise difference (for per-phase measurements).
+    pub fn delta(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        ProfileSnapshot {
+            step_time: std::array::from_fn(|i| {
+                self.step_time[i].saturating_sub(earlier.step_time[i])
+            }),
+            input_bytes: self.input_bytes - earlier.input_bytes,
+            output_bytes: self.output_bytes - earlier.output_bytes,
+            raw_bytes: self.raw_bytes - earlier.raw_bytes,
+            blocks: self.blocks - earlier.blocks,
+            entries_in: self.entries_in - earlier.entries_in,
+            entries_out: self.entries_out - earlier.entries_out,
+            subtasks: self.subtasks - earlier.subtasks,
+            compactions: self.compactions - earlier.compactions,
+            wall_time: self.wall_time.saturating_sub(earlier.wall_time),
+        }
+    }
+}
+
+/// Times a closure, recording the elapsed time under step `s`.
+#[inline]
+pub fn timed<T>(profile: &CompactionProfile, s: Step, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    profile.record(s, t0.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = CompactionProfile::new();
+        for (i, s) in Step::ALL.iter().enumerate() {
+            p.record(*s, Duration::from_millis(10 * (i as u64 + 1)));
+        }
+        let snap = p.snapshot();
+        let total: f64 = Step::ALL.iter().map(|s| snap.fraction(*s)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let (r, c, w) = snap.three_part_split();
+        assert!((r + c + w - 1.0).abs() < 1e-9);
+        assert!(c > r && c > w, "S2-S6 dominate this synthetic profile");
+    }
+
+    #[test]
+    fn bandwidth_accounts_input_plus_output() {
+        let p = CompactionProfile::new();
+        p.add_input_bytes(100 << 20);
+        p.add_output_bytes(100 << 20);
+        p.add_compaction(Duration::from_secs(2));
+        let bw = p.snapshot().bandwidth();
+        assert!((bw - 100.0 * 1024.0 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn timed_records_something() {
+        let p = CompactionProfile::new();
+        let v = timed(&p, Step::Sort, || {
+            std::hint::black_box((0..10_000).sum::<u64>())
+        });
+        assert_eq!(v, 49_995_000);
+        assert!(p.snapshot().time(Step::Sort) > Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let p = CompactionProfile::new();
+        p.add_input_bytes(10);
+        let a = p.snapshot();
+        p.add_input_bytes(7);
+        p.record(Step::Read, Duration::from_micros(3));
+        let d = p.snapshot().delta(&a);
+        assert_eq!(d.input_bytes, 7);
+        assert_eq!(d.time(Step::Read), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn step_labels_match_paper() {
+        let labels: Vec<&str> = Step::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["read", "crc", "decomp", "sort", "comp", "re-crc", "write"]
+        );
+        assert!(Step::Read.is_io() && Step::Write.is_io());
+        assert!(!Step::Sort.is_io());
+    }
+}

@@ -1,0 +1,481 @@
+//! The seven compaction steps as individually timed operations.
+//!
+//! Each function covers one or more steps of paper Fig. 2 and records its
+//! time in the shared [`CompactionProfile`]:
+//!
+//! * [`read_subtask`] — S1 (one span read per input run touched);
+//! * [`compute_subtask`] — S2 CHECKSUM, S3 DECOMPRESS, S4 SORT/MERGE,
+//!   S5 COMPRESS, S6 RE-CHECKSUM;
+//! * the write stage (S7) lives in [`crate::pipeline::SealedWriter`], since
+//!   it owns the output tables.
+
+use crate::planner::SubTask;
+use crate::profile::{CompactionProfile, Step};
+use bytes::Bytes;
+use pcp_sstable::bloom::BloomFilter;
+use pcp_sstable::key::{internal_key_cmp, user_key};
+use pcp_sstable::table::{
+    compress_block, decompress_block, make_trailer, verify_block,
+    CompressionKind, BLOCK_TRAILER_SIZE,
+};
+use pcp_sstable::{Block, BlockBuilder, BlockIter, KvIter, MergingIter, TableReader};
+use pcp_lsm::VersionKeepFilter;
+use pcp_sstable::Result as TableResult;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Raw (still compressed + trailed) blocks of one sub-task, grouped per run.
+#[derive(Debug)]
+pub struct SubTaskData {
+    pub index: usize,
+    /// Parallel to the planner's runs: raw block bytes in key order.
+    pub raw_blocks: Vec<Vec<Bytes>>,
+}
+
+/// One output block after S5/S6, ready for pure-I/O append.
+#[derive(Debug, Clone)]
+pub struct SealedBlock {
+    /// payload ++ 5-byte trailer.
+    pub raw: Vec<u8>,
+    pub first_key: Vec<u8>,
+    pub last_key: Vec<u8>,
+    pub entries: u64,
+    /// Uncompressed contents length.
+    pub raw_len: u64,
+    /// Bloom hashes of the block's user keys.
+    pub bloom_hashes: Vec<u64>,
+}
+
+/// A sub-task after the compute stage.
+#[derive(Debug)]
+pub struct ComputedSubTask {
+    pub index: usize,
+    pub blocks: Vec<SealedBlock>,
+}
+
+/// Knobs for the compute stage (match the engine's table options).
+#[derive(Debug, Clone)]
+pub struct ComputeConfig {
+    pub block_size: usize,
+    pub restart_interval: usize,
+    pub compression: CompressionKind,
+    pub smallest_snapshot: u64,
+    pub bottom_level: bool,
+}
+
+/// Step S1: reads every input block of `subtask`, one contiguous span read
+/// per run (the paper's "I/O size is equal to the sub-task size").
+pub fn read_subtask(
+    readers: &[Arc<TableReader>],
+    subtask: &SubTask,
+    profile: &CompactionProfile,
+) -> TableResult<SubTaskData> {
+    let t0 = Instant::now();
+    let mut raw_blocks: Vec<Vec<Bytes>> = Vec::with_capacity(subtask.blocks.len());
+    let mut bytes_read = 0u64;
+    for (run, blocks) in subtask.blocks.iter().enumerate() {
+        if blocks.is_empty() {
+            raw_blocks.push(Vec::new());
+            continue;
+        }
+        let first = blocks.first().unwrap().handle;
+        let last = blocks.last().unwrap().handle;
+        let span = readers[run].read_raw_span(first, last)?;
+        bytes_read += span.len() as u64;
+        let base = first.offset;
+        let mut run_raw = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let start = (b.handle.offset - base) as usize;
+            let end = start + b.handle.size as usize + BLOCK_TRAILER_SIZE;
+            run_raw.push(span.slice(start..end));
+        }
+        raw_blocks.push(run_raw);
+    }
+    profile.record(Step::Read, t0.elapsed());
+    profile.add_input_bytes(bytes_read);
+    profile.add_blocks(subtask.block_count() as u64);
+    Ok(SubTaskData {
+        index: subtask.index,
+        raw_blocks,
+    })
+}
+
+/// Sequential cursor over a run's decoded blocks (they are already in key
+/// order and disjoint, so concatenation suffices).
+struct BlocksIter {
+    blocks: Vec<Block>,
+    pos: usize,
+    cur: Option<BlockIter>,
+}
+
+impl BlocksIter {
+    fn new(blocks: Vec<Block>) -> BlocksIter {
+        BlocksIter {
+            blocks,
+            pos: 0,
+            cur: None,
+        }
+    }
+
+    fn advance_block(&mut self) {
+        while self.pos < self.blocks.len() {
+            let mut it = self.blocks[self.pos].iter(internal_key_cmp);
+            it.seek_to_first();
+            self.pos += 1;
+            if it.valid() {
+                self.cur = Some(it);
+                return;
+            }
+        }
+        self.cur = None;
+    }
+}
+
+impl KvIter for BlocksIter {
+    fn valid(&self) -> bool {
+        self.cur.as_ref().is_some_and(|c| c.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+        self.cur = None;
+        self.advance_block();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        // Rarely used in the compaction path; linear block scan.
+        self.seek_to_first();
+        while self.valid() && internal_key_cmp(self.key(), target) == std::cmp::Ordering::Less
+        {
+            self.next();
+        }
+    }
+
+    fn next(&mut self) {
+        if let Some(c) = &mut self.cur {
+            c.next();
+            if !c.valid() {
+                self.advance_block();
+            }
+        }
+    }
+
+    fn key(&self) -> &[u8] {
+        self.cur.as_ref().expect("valid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.cur.as_ref().expect("valid").value()
+    }
+}
+
+/// A sub-task after S2+S3: verified, decompressed, decoded blocks per run.
+#[derive(Debug)]
+pub struct DecodedSubTask {
+    pub index: usize,
+    pub runs: Vec<Vec<Block>>,
+}
+
+/// A sub-task after S4: merged, filtered, re-blocked — not yet sealed.
+#[derive(Debug)]
+pub struct MergedSubTask {
+    pub index: usize,
+    /// (contents, first_key, last_key, entries, bloom hashes) per block.
+    pub blocks: Vec<(Vec<u8>, Vec<u8>, Vec<u8>, u64, Vec<u64>)>,
+}
+
+/// Steps S2 (CHECKSUM) + S3 (DECOMPRESS) for one sub-task.
+pub fn verify_decompress(
+    data: SubTaskData,
+    profile: &CompactionProfile,
+) -> TableResult<DecodedSubTask> {
+    // S2 CHECKSUM: verify every raw block.
+    let t0 = Instant::now();
+    let mut verified: Vec<Vec<(Bytes, CompressionKind, usize)>> =
+        Vec::with_capacity(data.raw_blocks.len());
+    for run in &data.raw_blocks {
+        let mut v = Vec::with_capacity(run.len());
+        for raw in run {
+            let (payload, kind) = verify_block(raw)?;
+            let plen = payload.len();
+            v.push((raw.slice(0..plen), kind, plen));
+        }
+        verified.push(v);
+    }
+    profile.record(Step::Checksum, t0.elapsed());
+
+    // S3 DECOMPRESS: restore block contents.
+    let t0 = Instant::now();
+    let mut decoded_runs: Vec<Vec<Block>> = Vec::with_capacity(verified.len());
+    for run in &verified {
+        let mut blocks = Vec::with_capacity(run.len());
+        for (payload, kind, _) in run {
+            let contents = decompress_block(payload, *kind)?;
+            let block = Block::new(Bytes::from(contents))?;
+            blocks.push(block);
+        }
+        decoded_runs.push(blocks);
+    }
+    profile.record(Step::Decompress, t0.elapsed());
+    Ok(DecodedSubTask {
+        index: data.index,
+        runs: decoded_runs,
+    })
+}
+
+/// Step S4 (SORT/MERGE): k-way merge + version filter + new block building.
+pub fn merge_subtask(
+    decoded: DecodedSubTask,
+    cfg: &ComputeConfig,
+    profile: &CompactionProfile,
+) -> TableResult<MergedSubTask> {
+    let t0 = Instant::now();
+    let mut entries_in = 0u64;
+    let children: Vec<Box<dyn KvIter>> = decoded
+        .runs
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| Box::new(BlocksIter::new(r)) as Box<dyn KvIter>)
+        .collect();
+    let mut merged = MergingIter::new(children, internal_key_cmp);
+    let mut filter = VersionKeepFilter::new(cfg.smallest_snapshot, cfg.bottom_level);
+    let mut builder = BlockBuilder::new(cfg.restart_interval);
+    let mut pending: Vec<(Vec<u8>, Vec<u8>, Vec<u8>, u64, Vec<u64>)> = Vec::new();
+    let mut first_key: Vec<u8> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    merged.seek_to_first();
+    while merged.valid() {
+        entries_in += 1;
+        if filter.keep(merged.key()) {
+            if builder.is_empty() {
+                first_key = merged.key().to_vec();
+            }
+            hashes.push(BloomFilter::hash_key(user_key(merged.key())));
+            builder.add(merged.key(), merged.value());
+            if builder.size_estimate() >= cfg.block_size {
+                let last_key = builder.last_key().to_vec();
+                let entries = builder.entries() as u64;
+                let contents = builder.finish();
+                pending.push((
+                    contents,
+                    std::mem::take(&mut first_key),
+                    last_key,
+                    entries,
+                    std::mem::take(&mut hashes),
+                ));
+            }
+        }
+        merged.next();
+    }
+    if !builder.is_empty() {
+        let last_key = builder.last_key().to_vec();
+        let entries = builder.entries() as u64;
+        let contents = builder.finish();
+        pending.push((contents, first_key, last_key, entries, hashes));
+    }
+    profile.record(Step::Sort, t0.elapsed());
+    profile.add_entries_in(entries_in);
+    Ok(MergedSubTask {
+        index: decoded.index,
+        blocks: pending,
+    })
+}
+
+/// Steps S5 (COMPRESS) + S6 (RE-CHECKSUM): seal merged blocks for pure-I/O
+/// append.
+pub fn seal_subtask(
+    merged: MergedSubTask,
+    cfg: &ComputeConfig,
+    profile: &CompactionProfile,
+) -> TableResult<ComputedSubTask> {
+    // S5 COMPRESS.
+    let t0 = Instant::now();
+    let mut compressed: Vec<(Vec<u8>, CompressionKind, Vec<u8>, Vec<u8>, u64, u64, Vec<u64>)> =
+        Vec::with_capacity(merged.blocks.len());
+    let mut raw_bytes = 0u64;
+    let mut entries_out = 0u64;
+    for (contents, first, last, entries, h) in merged.blocks {
+        raw_bytes += contents.len() as u64;
+        entries_out += entries;
+        let (payload, kind) = compress_block(&contents, cfg.compression);
+        compressed.push((payload, kind, first, last, entries, contents.len() as u64, h));
+    }
+    profile.record(Step::Compress, t0.elapsed());
+    profile.add_raw_bytes(raw_bytes);
+    profile.add_entries_out(entries_out);
+
+    // S6 RE-CHECKSUM.
+    let t0 = Instant::now();
+    let mut blocks = Vec::with_capacity(compressed.len());
+    for (mut payload, kind, first, last, entries, raw_len, h) in compressed {
+        let trailer = make_trailer(&payload, kind);
+        payload.extend_from_slice(&trailer);
+        blocks.push(SealedBlock {
+            raw: payload,
+            first_key: first,
+            last_key: last,
+            entries,
+            raw_len,
+            bloom_hashes: h,
+        });
+    }
+    profile.record(Step::ReChecksum, t0.elapsed());
+
+    Ok(ComputedSubTask {
+        index: merged.index,
+        blocks,
+    })
+}
+
+/// Steps S2–S6 for one sub-task (the paper's single compute stage):
+/// verify, decompress, merge+filter into new blocks, compress,
+/// re-checksum.
+pub fn compute_subtask(
+    data: SubTaskData,
+    cfg: &ComputeConfig,
+    profile: &CompactionProfile,
+) -> TableResult<ComputedSubTask> {
+    let decoded = verify_decompress(data, profile)?;
+    let merged = merge_subtask(decoded, cfg, profile)?;
+    seal_subtask(merged, cfg, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_subtasks;
+    use pcp_sstable::key::{make_internal_key, ValueType, MAX_SEQUENCE};
+    use pcp_sstable::{TableBuilder, TableBuilderOptions};
+    use pcp_storage::{EnvRef, SimDevice, SimEnv};
+
+    fn env() -> EnvRef {
+        Arc::new(SimEnv::new(Arc::new(SimDevice::mem(128 << 20))))
+    }
+
+    fn build_table(env: &EnvRef, name: &str, n: usize, seq0: u64) -> Arc<TableReader> {
+        let f = env.create(name).unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        for i in 0..n {
+            let ik = make_internal_key(
+                format!("key{i:06}").as_bytes(),
+                seq0 + i as u64,
+                ValueType::Value,
+            );
+            b.add(&ik, format!("value-{i}-{}", "y".repeat(60)).as_bytes())
+                .unwrap();
+        }
+        b.finish().unwrap();
+        Arc::new(TableReader::open(env.open(name).unwrap()).unwrap())
+    }
+
+    fn cfg() -> ComputeConfig {
+        ComputeConfig {
+            block_size: 4096,
+            restart_interval: 16,
+            compression: CompressionKind::Lz,
+            smallest_snapshot: MAX_SEQUENCE,
+            bottom_level: true,
+        }
+    }
+
+    #[test]
+    fn read_then_compute_roundtrips_entries() {
+        let env = env();
+        let table = build_table(&env, "t", 2000, 1);
+        let runs = vec![table.block_metas().unwrap()];
+        let plan = plan_subtasks(&runs, 16 << 10);
+        assert!(plan.len() > 1);
+        let profile = CompactionProfile::new();
+        let mut total_entries = 0u64;
+        let readers = vec![Arc::clone(&table)];
+        for st in &plan {
+            let data = read_subtask(&readers, st, &profile).unwrap();
+            let computed = compute_subtask(data, &cfg(), &profile).unwrap();
+            assert_eq!(computed.index, st.index);
+            total_entries += computed.blocks.iter().map(|b| b.entries).sum::<u64>();
+            // Each sealed block must verify and decompress.
+            for sb in &computed.blocks {
+                let (payload, kind) = verify_block(&sb.raw).unwrap();
+                let contents = decompress_block(payload, kind).unwrap();
+                assert_eq!(contents.len() as u64, sb.raw_len);
+            }
+        }
+        assert_eq!(total_entries, 2000);
+        let snap = profile.snapshot();
+        assert_eq!(snap.entries_in, 2000);
+        assert_eq!(snap.entries_out, 2000);
+        assert!(snap.time(Step::Read) > std::time::Duration::ZERO);
+        assert!(snap.time(Step::Sort) > std::time::Duration::ZERO);
+        assert!(snap.input_bytes > 0);
+    }
+
+    #[test]
+    fn merge_two_runs_newest_wins() {
+        let env = env();
+        // Same keys, different sequences: upper (newer) must win.
+        let newer = build_table(&env, "a", 500, 10_000);
+        let older = build_table(&env, "b", 500, 1);
+        let runs = vec![
+            newer.block_metas().unwrap(),
+            older.block_metas().unwrap(),
+        ];
+        let plan = plan_subtasks(&runs, u64::MAX);
+        assert_eq!(plan.len(), 1);
+        let profile = CompactionProfile::new();
+        let readers = vec![newer, older];
+        let data = read_subtask(&readers, &plan[0], &profile).unwrap();
+        let computed = compute_subtask(data, &cfg(), &profile).unwrap();
+        let survivors: u64 = computed.blocks.iter().map(|b| b.entries).sum();
+        assert_eq!(survivors, 500, "one version per user key survives");
+        // All surviving sequences are the newer ones.
+        for sb in &computed.blocks {
+            let (payload, kind) = verify_block(&sb.raw).unwrap();
+            let contents = decompress_block(payload, kind).unwrap();
+            let block = Block::new(Bytes::from(contents)).unwrap();
+            let mut it = block.iter(internal_key_cmp);
+            it.seek_to_first();
+            while it.valid() {
+                let p = pcp_sstable::parse_internal_key(it.key()).unwrap();
+                assert!(p.sequence >= 10_000);
+                it.next();
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_iter_concatenates() {
+        let mk = |keys: &[&str]| {
+            let mut bb = BlockBuilder::new(4);
+            for k in keys {
+                bb.add(
+                    &make_internal_key(k.as_bytes(), 1, ValueType::Value),
+                    b"v",
+                );
+            }
+            Block::new(Bytes::from(bb.finish())).unwrap()
+        };
+        let mut it = BlocksIter::new(vec![mk(&["a", "b"]), mk(&["c"]), mk(&["d", "e"])]);
+        it.seek_to_first();
+        let mut keys = Vec::new();
+        while it.valid() {
+            keys.push(user_key(it.key()).to_vec());
+            it.next();
+        }
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_raw_block_fails_checksum_step() {
+        let env = env();
+        let table = build_table(&env, "t", 100, 1);
+        let runs = vec![table.block_metas().unwrap()];
+        let plan = plan_subtasks(&runs, u64::MAX);
+        let profile = CompactionProfile::new();
+        let mut data = read_subtask(&[Arc::clone(&table)], &plan[0], &profile).unwrap();
+        // Corrupt the first raw block.
+        let mut broken = data.raw_blocks[0][0].to_vec();
+        broken[0] ^= 0xFF;
+        data.raw_blocks[0][0] = Bytes::from(broken);
+        assert!(compute_subtask(data, &cfg(), &profile).is_err());
+    }
+}

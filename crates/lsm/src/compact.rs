@@ -1,0 +1,442 @@
+//! Compaction interface shared by every executor.
+//!
+//! The engine delegates the actual merge work to a [`CompactionExec`]. The
+//! built-in [`SimpleMergeExec`] is the entry-at-a-time reference
+//! implementation; the `pcp-core` crate provides the paper's block-level
+//! SCP/PCP/C-PPCP/S-PPCP executors behind the same trait, and every
+//! executor must produce **identical output tables** for the same input —
+//! an invariant the integration tests enforce.
+//!
+//! [`VersionKeepFilter`] encodes the LSM version-visibility rules that
+//! decide which merged entries survive (step S4's semantic half).
+
+use crate::filename::table_file;
+use crate::version::FileMetadata;
+use pcp_sstable::key::{parse_internal_key, user_key, SequenceNumber, ValueType};
+use pcp_sstable::{
+    KvIter, MergingIter, Result as TableResult, TableBuilder, TableBuilderOptions,
+    TableReader,
+};
+use pcp_storage::EnvRef;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// Decides, entry by entry in internal-key order, whether a merged entry is
+/// carried into the compaction output (LevelDB's drop logic):
+///
+/// * only the newest version at or below `smallest_snapshot` is kept per
+///   user key — older ones are invisible to every live reader;
+/// * tombstones are dropped once they reach the bottom level (no older
+///   level can still hold a shadowed value).
+#[derive(Debug)]
+pub struct VersionKeepFilter {
+    smallest_snapshot: SequenceNumber,
+    bottom_level: bool,
+    current_user_key: Vec<u8>,
+    has_current_user_key: bool,
+    last_sequence_for_key: SequenceNumber,
+}
+
+impl VersionKeepFilter {
+    /// `smallest_snapshot` is the lowest sequence any live reader can see;
+    /// `bottom_level` enables tombstone garbage collection.
+    pub fn new(smallest_snapshot: SequenceNumber, bottom_level: bool) -> Self {
+        VersionKeepFilter {
+            smallest_snapshot,
+            bottom_level,
+            current_user_key: Vec::new(),
+            has_current_user_key: false,
+            last_sequence_for_key: SequenceNumber::MAX,
+        }
+    }
+
+    /// Returns true if the entry with internal key `ikey` must be kept.
+    /// Must be fed entries in [`pcp_sstable::key::internal_key_cmp`] order.
+    pub fn keep(&mut self, ikey: &[u8]) -> bool {
+        let parsed = parse_internal_key(ikey).expect("well-formed internal key");
+        if !self.has_current_user_key || self.current_user_key != parsed.user_key {
+            self.current_user_key.clear();
+            self.current_user_key.extend_from_slice(parsed.user_key);
+            self.has_current_user_key = true;
+            self.last_sequence_for_key = SequenceNumber::MAX;
+        }
+        let keep = if self.last_sequence_for_key <= self.smallest_snapshot {
+            // A newer entry for this user key is already ≤ the snapshot:
+            // this one can never be observed.
+            false
+        } else {
+            !(parsed.value_type == ValueType::Deletion
+                && parsed.sequence <= self.smallest_snapshot
+                && self.bottom_level)
+        };
+        self.last_sequence_for_key = parsed.sequence;
+        keep
+    }
+}
+
+/// Everything an executor needs to run one compaction.
+pub struct CompactionRequest {
+    /// Filesystem for output tables.
+    pub env: EnvRef,
+    /// Open readers for the upper component C_i, in version order.
+    pub upper: Vec<Arc<TableReader>>,
+    /// Open readers for the lower component C_{i+1}, in key order.
+    pub lower: Vec<Arc<TableReader>>,
+    /// Level the outputs land in.
+    pub output_level: usize,
+    /// True when `output_level` is the lowest non-empty level (tombstone GC).
+    pub bottom_level: bool,
+    /// Lowest sequence visible to any live snapshot.
+    pub smallest_snapshot: SequenceNumber,
+    /// Shared file-number allocator.
+    pub file_numbers: Arc<AtomicU64>,
+    /// Table format options for outputs.
+    pub table_opts: TableBuilderOptions,
+    /// Output tables rotate at this size (paper: 2 MB SSTables).
+    pub max_output_bytes: u64,
+}
+
+impl CompactionRequest {
+    /// Total input bytes (for bandwidth accounting).
+    pub fn input_bytes(&self) -> u64 {
+        self.upper
+            .iter()
+            .chain(self.lower.iter())
+            .map(|t| t.stats().file_size)
+            .sum()
+    }
+
+    /// Allocates the next output file number.
+    pub fn next_file_number(&self) -> u64 {
+        self.file_numbers.fetch_add(1, AtomicOrdering::SeqCst)
+    }
+}
+
+/// A compaction algorithm.
+pub trait CompactionExec: Send + Sync {
+    /// Executor name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Merges the request's inputs into new tables at the output level and
+    /// returns their metadata (in key order).
+    fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>>;
+}
+
+/// Shared output-side helper: writes filtered merged entries into
+/// size-rotated tables. Used by the reference executor here and by the
+/// sequential baseline in `pcp-core`.
+pub struct OutputWriter<'req> {
+    req: &'req CompactionRequest,
+    builder: Option<(u64, TableBuilder)>, // (file number, builder)
+    smallest: Vec<u8>,
+    last_user_key: Vec<u8>,
+    outputs: Vec<Arc<FileMetadata>>,
+}
+
+impl<'req> OutputWriter<'req> {
+    /// Creates a writer for `req`'s output level.
+    pub fn new(req: &'req CompactionRequest) -> Self {
+        OutputWriter {
+            req,
+            builder: None,
+            smallest: Vec::new(),
+            last_user_key: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends one surviving entry (in internal-key order).
+    pub fn add(&mut self, ikey: &[u8], value: &[u8]) -> TableResult<()> {
+        // Rotate between user keys only: splitting one user key's versions
+        // across two tables would break the level's disjointness invariant.
+        let should_rotate = self
+            .builder
+            .as_ref()
+            .is_some_and(|(_, b)| b.estimated_size() >= self.req.max_output_bytes)
+            && user_key(ikey) != self.last_user_key.as_slice();
+        if should_rotate {
+            self.finish_current()?;
+        }
+        if self.builder.is_none() {
+            let number = self.req.next_file_number();
+            let file = self.req.env.create(&table_file(number))?;
+            self.builder = Some((
+                number,
+                TableBuilder::new(file, self.req.table_opts.clone()),
+            ));
+            self.smallest = ikey.to_vec();
+        }
+        let (_, b) = self.builder.as_mut().expect("builder exists");
+        b.add(ikey, value)?;
+        self.last_user_key.clear();
+        self.last_user_key.extend_from_slice(user_key(ikey));
+        Ok(())
+    }
+
+    fn finish_current(&mut self) -> TableResult<()> {
+        if let Some((number, builder)) = self.builder.take() {
+            let largest = builder.last_key().to_vec();
+            let stats = builder.finish()?;
+            self.outputs.push(Arc::new(FileMetadata {
+                number,
+                size: stats.file_size,
+                entries: stats.entries,
+                smallest: std::mem::take(&mut self.smallest),
+                largest,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Finishes the last table and returns the outputs in key order.
+    pub fn finish(mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
+        self.finish_current()?;
+        Ok(self.outputs)
+    }
+}
+
+/// Reference executor: single-threaded, entry-at-a-time merge through the
+/// normal iterator machinery. Correct, simple, and the semantic baseline
+/// every pipelined executor is tested against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimpleMergeExec;
+
+impl CompactionExec for SimpleMergeExec {
+    fn name(&self) -> &'static str {
+        "simple-merge"
+    }
+
+    fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
+        let children: Vec<Box<dyn KvIter>> = req
+            .upper
+            .iter()
+            .chain(req.lower.iter())
+            .map(|t| Box::new(t.iter()) as Box<dyn KvIter>)
+            .collect();
+        let mut merged = MergingIter::new(children, pcp_sstable::internal_key_cmp);
+        let mut filter = VersionKeepFilter::new(req.smallest_snapshot, req.bottom_level);
+        let mut out = OutputWriter::new(req);
+        merged.seek_to_first();
+        while merged.valid() {
+            if filter.keep(merged.key()) {
+                out.add(merged.key(), merged.value())?;
+            }
+            merged.next();
+        }
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_sstable::key::{make_internal_key, MAX_SEQUENCE};
+    use pcp_storage::{SimDevice, SimEnv};
+
+    fn env() -> EnvRef {
+        Arc::new(SimEnv::new(Arc::new(SimDevice::mem(128 << 20))))
+    }
+
+    fn build_table(
+        env: &EnvRef,
+        number: u64,
+        entries: &[(&[u8], u64, ValueType, &[u8])],
+    ) -> Arc<TableReader> {
+        let f = env.create(&table_file(number)).unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        let mut sorted: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .iter()
+            .map(|(k, seq, t, v)| (make_internal_key(k, *seq, *t), v.to_vec()))
+            .collect();
+        sorted.sort_by(|a, b| pcp_sstable::internal_key_cmp(&a.0, &b.0));
+        for (ik, v) in sorted {
+            b.add(&ik, &v).unwrap();
+        }
+        b.finish().unwrap();
+        Arc::new(TableReader::open(env.open(&table_file(number)).unwrap()).unwrap())
+    }
+
+    fn run(
+        env: EnvRef,
+        upper: Vec<Arc<TableReader>>,
+        lower: Vec<Arc<TableReader>>,
+        smallest_snapshot: u64,
+        bottom: bool,
+    ) -> (Vec<Arc<FileMetadata>>, EnvRef) {
+        let req = CompactionRequest {
+            env: Arc::clone(&env),
+            upper,
+            lower,
+            output_level: 1,
+            bottom_level: bottom,
+            smallest_snapshot,
+            file_numbers: Arc::new(AtomicU64::new(100)),
+            table_opts: TableBuilderOptions::default(),
+            max_output_bytes: 2 << 20,
+        };
+        let outputs = SimpleMergeExec.compact(&req).unwrap();
+        (outputs, env)
+    }
+
+    fn read_all(env: &EnvRef, outputs: &[Arc<FileMetadata>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = Vec::new();
+        for meta in outputs {
+            let t = Arc::new(
+                TableReader::open(env.open(&table_file(meta.number)).unwrap()).unwrap(),
+            );
+            let mut it = t.iter();
+            it.seek_to_first();
+            while it.valid() {
+                all.push((it.key().to_vec(), it.value().to_vec()));
+                it.next();
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn filter_keeps_only_newest_visible_version() {
+        let mut f = VersionKeepFilter::new(100, false);
+        // Internal-key order for user key "k": seq 50, 30, 10.
+        assert!(f.keep(&make_internal_key(b"k", 50, ValueType::Value)));
+        assert!(!f.keep(&make_internal_key(b"k", 30, ValueType::Value)));
+        assert!(!f.keep(&make_internal_key(b"k", 10, ValueType::Value)));
+        // New user key resets.
+        assert!(f.keep(&make_internal_key(b"l", 5, ValueType::Value)));
+    }
+
+    #[test]
+    fn filter_respects_snapshots() {
+        // Snapshot at 20: version 50 is above it, so 30 (first ≤ 20... no,
+        // 30 > 20 too) — both 50 and 30 stay visible to *some* reader
+        // (latest read and snapshot-20 read respectively); 10 is shadowed
+        // by 30 for every snapshot ≥ 20... wait: snapshot 20 sees seq ≤ 20,
+        // i.e. version 10. So all three must be kept except those shadowed
+        // by a newer version that is itself ≤ 20.
+        let mut f = VersionKeepFilter::new(20, false);
+        assert!(f.keep(&make_internal_key(b"k", 50, ValueType::Value)));
+        assert!(f.keep(&make_internal_key(b"k", 30, ValueType::Value)));
+        assert!(f.keep(&make_internal_key(b"k", 10, ValueType::Value)));
+        assert!(
+            !f.keep(&make_internal_key(b"k", 5, ValueType::Value)),
+            "seq 5 shadowed by seq 10 ≤ snapshot"
+        );
+    }
+
+    #[test]
+    fn filter_gc_tombstones_only_at_bottom() {
+        let mut bottom = VersionKeepFilter::new(MAX_SEQUENCE, true);
+        assert!(!bottom.keep(&make_internal_key(b"k", 9, ValueType::Deletion)));
+        let mut mid = VersionKeepFilter::new(MAX_SEQUENCE, false);
+        assert!(mid.keep(&make_internal_key(b"k", 9, ValueType::Deletion)));
+    }
+
+    #[test]
+    fn merge_dedups_across_components() {
+        let env = env();
+        let upper = build_table(
+            &env,
+            1,
+            &[
+                (b"a", 10, ValueType::Value, b"a-new"),
+                (b"c", 11, ValueType::Value, b"c-new"),
+            ],
+        );
+        let lower = build_table(
+            &env,
+            2,
+            &[
+                (b"a", 2, ValueType::Value, b"a-old"),
+                (b"b", 3, ValueType::Value, b"b-old"),
+            ],
+        );
+        let (outputs, env) = run(env, vec![upper], vec![lower], MAX_SEQUENCE, true);
+        let all = read_all(&env, &outputs);
+        let got: Vec<(Vec<u8>, Vec<u8>)> = all
+            .iter()
+            .map(|(ik, v)| (user_key(ik).to_vec(), v.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"a-new".to_vec()),
+                (b"b".to_vec(), b"b-old".to_vec()),
+                (b"c".to_vec(), b"c-new".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tombstones_erase_values_at_bottom() {
+        let env = env();
+        let upper = build_table(&env, 1, &[(b"k", 10, ValueType::Deletion, b"")]);
+        let lower = build_table(&env, 2, &[(b"k", 2, ValueType::Value, b"old")]);
+        let (outputs, env) = run(env, vec![upper], vec![lower], MAX_SEQUENCE, true);
+        let all = read_all(&env, &outputs);
+        assert!(all.is_empty(), "tombstone and shadowed value both dropped");
+        assert!(outputs.is_empty(), "no output file for empty result");
+    }
+
+    #[test]
+    fn tombstones_survive_above_bottom() {
+        let env = env();
+        let upper = build_table(&env, 1, &[(b"k", 10, ValueType::Deletion, b"")]);
+        let lower = build_table(&env, 2, &[(b"k", 2, ValueType::Value, b"old")]);
+        let (outputs, env) = run(env, vec![upper], vec![lower], MAX_SEQUENCE, false);
+        let all = read_all(&env, &outputs);
+        assert_eq!(all.len(), 1, "tombstone kept to shadow deeper levels");
+        let p = parse_internal_key(&all[0].0).unwrap();
+        assert_eq!(p.value_type, ValueType::Deletion);
+    }
+
+    #[test]
+    fn outputs_rotate_at_max_size_and_stay_disjoint() {
+        let env = env();
+        // Incompressible values so output size tracks entry count.
+        let mut x = 0xDEADBEEFu64;
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..4000)
+            .map(|i| {
+                let v: Vec<u8> = (0..100)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x as u8
+                    })
+                    .collect();
+                (format!("key{i:08}").into_bytes(), v)
+            })
+            .collect();
+        let f = env.create(&table_file(1)).unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        for (i, (k, v)) in entries.iter().enumerate() {
+            b.add(&make_internal_key(k, i as u64 + 1, ValueType::Value), v)
+                .unwrap();
+        }
+        b.finish().unwrap();
+        let upper = Arc::new(
+            TableReader::open(env.open(&table_file(1)).unwrap()).unwrap(),
+        );
+        let req = CompactionRequest {
+            env: Arc::clone(&env),
+            upper: vec![upper],
+            lower: vec![],
+            output_level: 1,
+            bottom_level: true,
+            smallest_snapshot: MAX_SEQUENCE,
+            file_numbers: Arc::new(AtomicU64::new(10)),
+            table_opts: TableBuilderOptions::default(),
+            max_output_bytes: 64 << 10, // small, to force several outputs
+        };
+        let outputs = SimpleMergeExec.compact(&req).unwrap();
+        assert!(outputs.len() > 2, "expected rotation, got {}", outputs.len());
+        let total: u64 = outputs.iter().map(|f| f.entries).sum();
+        assert_eq!(total, 4000);
+        for w in outputs.windows(2) {
+            assert!(
+                user_key(&w[0].largest) < user_key(&w[1].smallest),
+                "outputs must be disjoint"
+            );
+        }
+    }
+}

@@ -1,0 +1,1125 @@
+//! The database: write path, read path, background maintenance.
+//!
+//! The moving parts follow LevelDB's architecture:
+//!
+//! * Writers append to the WAL and insert into the skiplist memtable under
+//!   one mutex. When the memtable reaches its threshold (paper default:
+//!   4 MB) it becomes immutable and a background flush dumps it into a
+//!   level-0 SSTable.
+//! * One background worker alternates flushes and compactions. Compactions
+//!   are picked by [`crate::version_set::VersionSet::pick_compaction`] and
+//!   executed by the configured [`CompactionExec`] — this is where the
+//!   paper's SCP/PCP/PPCP executors plug in.
+//! * When compaction cannot keep up, writers first get slowed (one
+//!   millisecond per write once L0 grows past `l0_slowdown_files`), then
+//!   stalled outright (the paper's *write pauses*), which is precisely the
+//!   coupling that makes compaction bandwidth determine system throughput
+//!   (Fig. 10: IOPS vs compaction bandwidth).
+
+use crate::compact::{CompactionExec, CompactionRequest, SimpleMergeExec};
+use crate::filename::{parse_file_name, table_file, wal_file, FileKind};
+use crate::iter::{DbIter, LevelIter};
+use crate::memtable::Memtable;
+use crate::table_cache::TableCache;
+use crate::version::{FileMetadata, Version, NUM_LEVELS};
+use crate::version_set::{CompactionPick, CompactionPolicy, VersionSet};
+use crate::wal::{WalReader, WalWriter};
+use crate::edit::VersionEdit;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use pcp_sstable::key::{
+    lookup_key, parse_internal_key, SequenceNumber, ValueType,
+};
+use pcp_sstable::{
+    internal_key_cmp, CompressionKind, KvIter, MergingIter, TableBuilder,
+    TableBuilderOptions,
+};
+use pcp_storage::EnvRef;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration. Defaults mirror the paper's experimental setup.
+#[derive(Clone)]
+pub struct Options {
+    /// Memtable threshold before rotation (paper: 4 MB).
+    pub memtable_bytes: usize,
+    /// Output SSTable rotation size (paper: 2 MB).
+    pub sstable_bytes: u64,
+    /// Data-block size (paper: 4 KB).
+    pub block_bytes: usize,
+    /// Compress data blocks (paper: snappy on).
+    pub compression: bool,
+    /// Bloom bits per key (0 disables).
+    pub bloom_bits_per_key: usize,
+    /// Compaction trigger thresholds.
+    pub policy: CompactionPolicy,
+    /// L0 file count that slows writers by 1 ms each.
+    pub l0_slowdown_files: usize,
+    /// L0 file count that stops writers until compaction catches up.
+    pub l0_stop_files: usize,
+    /// Sync the WAL on every write.
+    pub sync_writes: bool,
+    /// Decoded-block cache budget for the read path; 0 disables it (the
+    /// paper's direct-I/O semantics — compaction always bypasses it).
+    pub block_cache_bytes: usize,
+    /// The compaction algorithm.
+    pub executor: Arc<dyn CompactionExec>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_bytes: 4 << 20,
+            sstable_bytes: 2 << 20,
+            block_bytes: 4096,
+            compression: true,
+            bloom_bits_per_key: 10,
+            policy: CompactionPolicy::default(),
+            l0_slowdown_files: 8,
+            l0_stop_files: 12,
+            sync_writes: false,
+            block_cache_bytes: 0,
+            executor: Arc::new(SimpleMergeExec),
+        }
+    }
+}
+
+impl Options {
+    fn table_opts(&self) -> TableBuilderOptions {
+        TableBuilderOptions {
+            block_size: self.block_bytes,
+            restart_interval: 16,
+            compression: if self.compression {
+                CompressionKind::Lz
+            } else {
+                CompressionKind::None
+            },
+            bloom_bits_per_key: self.bloom_bits_per_key,
+        }
+    }
+}
+
+/// A set of writes applied atomically (one WAL record).
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    entries: Vec<(ValueType, Vec<u8>, Vec<u8>)>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.entries
+            .push((ValueType::Value, key.to_vec(), value.to_vec()));
+    }
+
+    /// Queues a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.entries
+            .push((ValueType::Deletion, key.to_vec(), Vec::new()));
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn encode(&self, first_sequence: SequenceNumber) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&first_sequence.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (t, k, v) in &self.entries {
+            out.push(*t as u8);
+            pcp_codec::put_u64(&mut out, k.len() as u64);
+            out.extend_from_slice(k);
+            pcp_codec::put_u64(&mut out, v.len() as u64);
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    fn decode(record: &[u8]) -> io::Result<(SequenceNumber, WriteBatch)> {
+        let corrupt = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if record.len() < 12 {
+            return Err(corrupt("batch record too short"));
+        }
+        let seq = u64::from_le_bytes(record[..8].try_into().unwrap());
+        let count = u32::from_le_bytes(record[8..12].try_into().unwrap());
+        let mut batch = WriteBatch::new();
+        let mut input = &record[12..];
+        for _ in 0..count {
+            let (&tag, rest) = input
+                .split_first()
+                .ok_or_else(|| corrupt("truncated batch entry"))?;
+            let t = ValueType::from_u8(tag).ok_or_else(|| corrupt("bad value type"))?;
+            let (klen, n) =
+                pcp_codec::decode_u64(rest).map_err(|_| corrupt("bad key length"))?;
+            let rest = &rest[n..];
+            if rest.len() < klen as usize {
+                return Err(corrupt("truncated key"));
+            }
+            let (key, rest) = rest.split_at(klen as usize);
+            let (vlen, n) =
+                pcp_codec::decode_u64(rest).map_err(|_| corrupt("bad value length"))?;
+            let rest = &rest[n..];
+            if rest.len() < vlen as usize {
+                return Err(corrupt("truncated value"));
+            }
+            let (value, rest) = rest.split_at(vlen as usize);
+            batch.entries.push((t, key.to_vec(), value.to_vec()));
+            input = rest;
+        }
+        Ok((seq, batch))
+    }
+}
+
+/// Monotone engine counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub stall_events: AtomicU64,
+    pub stall_nanos: AtomicU64,
+    pub slowdown_events: AtomicU64,
+    pub flush_count: AtomicU64,
+    pub flush_bytes: AtomicU64,
+    pub compaction_count: AtomicU64,
+    pub compaction_input_bytes: AtomicU64,
+    pub compaction_output_bytes: AtomicU64,
+    pub compaction_nanos: AtomicU64,
+    pub trivial_moves: AtomicU64,
+}
+
+/// Plain-data snapshot of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsSnapshot {
+    pub puts: u64,
+    pub gets: u64,
+    pub stall_events: u64,
+    pub stall_time: Duration,
+    pub slowdown_events: u64,
+    pub flush_count: u64,
+    pub flush_bytes: u64,
+    pub compaction_count: u64,
+    pub compaction_input_bytes: u64,
+    pub compaction_output_bytes: u64,
+    pub compaction_time: Duration,
+    pub trivial_moves: u64,
+}
+
+impl MetricsSnapshot {
+    /// Compaction bandwidth in bytes/second: (input + output) / busy time —
+    /// the paper's primary metric.
+    pub fn compaction_bandwidth(&self) -> f64 {
+        let bytes = self.compaction_input_bytes + self.compaction_output_bytes;
+        let secs = self.compaction_time.as_secs_f64();
+        if secs > 0.0 {
+            bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+struct State {
+    mem: Arc<Memtable>,
+    imm: Option<Arc<Memtable>>,
+    wal: Option<WalWriter>,
+    wal_number: u64,
+    versions: VersionSet,
+    bg_active: bool,
+    bg_error: Option<String>,
+    snapshots: BTreeMap<u64, usize>,
+}
+
+struct DbInner {
+    opts: Options,
+    env: EnvRef,
+    cache: Arc<TableCache>,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+}
+
+/// An open database.
+pub struct Db {
+    inner: Arc<DbInner>,
+    bg_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A consistent read view; reads at this snapshot ignore later writes.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    /// The sequence number this snapshot reads at.
+    pub sequence: SequenceNumber,
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        if let Some(count) = st.snapshots.get_mut(&self.sequence) {
+            *count -= 1;
+            if *count == 0 {
+                st.snapshots.remove(&self.sequence);
+            }
+        }
+    }
+}
+
+impl Db {
+    /// Opens (creating or recovering) a database on `env`.
+    pub fn open(env: EnvRef, opts: Options) -> io::Result<Db> {
+        let mut versions = VersionSet::open(Arc::clone(&env))?;
+        let mem = Arc::new(Memtable::new());
+        let mut max_seq = versions.last_sequence();
+
+        // Replay WALs newer than the manifest's log number.
+        let mut logs: Vec<u64> = env
+            .list()?
+            .iter()
+            .filter_map(|n| parse_file_name(n))
+            .filter(|(kind, num)| *kind == FileKind::Wal && *num >= versions.log_number())
+            .map(|(_, num)| num)
+            .collect();
+        logs.sort_unstable();
+        for log in &logs {
+            let mut reader = WalReader::open(&*env, &wal_file(*log))?;
+            while let Some(record) = reader.next_record()? {
+                let (seq, batch) = WriteBatch::decode(&record)?;
+                for (i, (t, k, v)) in batch.entries.iter().enumerate() {
+                    mem.insert(k, seq + i as u64, *t, v);
+                }
+                max_seq = max_seq.max(seq + batch.entries.len() as u64 - 1);
+            }
+        }
+        versions.set_last_sequence(max_seq);
+
+        // Start a fresh WAL; flush any replayed data straight to L0 so the
+        // old logs become obsolete.
+        let wal_number = versions.allocate_file_number();
+        let wal = WalWriter::create(&*env, &wal_file(wal_number))?;
+        let block_cache = if opts.block_cache_bytes > 0 {
+            Some(pcp_sstable::BlockCache::new(opts.block_cache_bytes))
+        } else {
+            None
+        };
+        let cache = Arc::new(TableCache::with_block_cache(
+            Arc::clone(&env),
+            block_cache,
+        ));
+
+        let (mem, flush_edit) = if mem.is_empty() {
+            (mem, None)
+        } else {
+            let number = versions.allocate_file_number();
+            let meta = Self::write_memtable_to_table(&env, &opts, &mem, number)?;
+            let edit = VersionEdit {
+                log_number: Some(wal_number),
+                new_files: vec![(0, meta)],
+                ..Default::default()
+            };
+            (Arc::new(Memtable::new()), Some(edit))
+        };
+        let edit = flush_edit.unwrap_or(VersionEdit {
+            log_number: Some(wal_number),
+            ..Default::default()
+        });
+        versions.log_and_apply(edit)?;
+
+        let inner = Arc::new(DbInner {
+            opts,
+            env,
+            cache,
+            state: Mutex::new(State {
+                mem,
+                imm: None,
+                wal: Some(wal),
+                wal_number,
+                versions,
+                bg_active: false,
+                bg_error: None,
+                snapshots: BTreeMap::new(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+        });
+        inner.gc_files(&mut inner.state.lock());
+
+        let worker = Arc::clone(&inner);
+        let bg_thread = std::thread::Builder::new()
+            .name("pcp-lsm-bg".into())
+            .spawn(move || worker.background_loop())
+            .expect("spawn background thread");
+
+        Ok(Db {
+            inner,
+            bg_thread: Some(bg_thread),
+        })
+    }
+
+    fn write_memtable_to_table(
+        env: &EnvRef,
+        opts: &Options,
+        mem: &Arc<Memtable>,
+        number: u64,
+    ) -> io::Result<Arc<FileMetadata>> {
+        let file = env.create(&table_file(number))?;
+        let mut builder = TableBuilder::new(file, opts.table_opts());
+        let mut it = mem.iter();
+        it.seek_to_first();
+        let mut smallest = Vec::new();
+        let mut largest = Vec::new();
+        while it.valid() {
+            if smallest.is_empty() {
+                smallest = it.key().to_vec();
+            }
+            largest.clear();
+            largest.extend_from_slice(it.key());
+            builder
+                .add(it.key(), it.value())
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            it.next();
+        }
+        let stats = builder
+            .finish()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        Ok(Arc::new(FileMetadata {
+            number,
+            size: stats.file_size,
+            entries: stats.entries,
+            smallest,
+            largest,
+        }))
+    }
+
+    /// Inserts `key → value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, key: &[u8]) -> io::Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch)
+    }
+
+    /// Applies a batch atomically.
+    pub fn write(&self, batch: WriteBatch) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        inner.make_room_for_write(&mut st)?;
+
+        let first_seq = st.versions.last_sequence() + 1;
+        let record = batch.encode(first_seq);
+        let wal = st.wal.as_mut().expect("wal open");
+        wal.add_record(&record)?;
+        if inner.opts.sync_writes {
+            wal.sync()?;
+        }
+        for (i, (t, k, v)) in batch.entries.iter().enumerate() {
+            st.mem.insert(k, first_seq + i as u64, *t, v);
+        }
+        st.versions
+            .set_last_sequence(first_seq + batch.entries.len() as u64 - 1);
+        inner
+            .metrics
+            .puts
+            .fetch_add(batch.entries.len() as u64, AtomicOrdering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads the newest visible value for `key`.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let seq = {
+            let st = self.inner.state.lock();
+            st.versions.last_sequence()
+        };
+        self.get_at(key, seq)
+    }
+
+    /// Reads `key` at an explicit sequence.
+    pub fn get_at(&self, key: &[u8], snapshot: SequenceNumber) -> io::Result<Option<Vec<u8>>> {
+        let inner = &*self.inner;
+        inner.metrics.gets.fetch_add(1, AtomicOrdering::Relaxed);
+        let (mem, imm, version) = {
+            let st = inner.state.lock();
+            (st.mem.clone(), st.imm.clone(), st.versions.current())
+        };
+        if let Some(hit) = mem.get(key, snapshot) {
+            return Ok(hit);
+        }
+        if let Some(imm) = imm {
+            if let Some(hit) = imm.get(key, snapshot) {
+                return Ok(hit);
+            }
+        }
+        inner.search_tables(&version, key, snapshot)
+    }
+
+    /// Registers a snapshot at the current sequence.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut st = self.inner.state.lock();
+        let seq = st.versions.last_sequence();
+        *st.snapshots.entry(seq).or_insert(0) += 1;
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            sequence: seq,
+        }
+    }
+
+    /// Scan cursor at the latest sequence.
+    pub fn iter(&self) -> DbIter {
+        let seq = {
+            let st = self.inner.state.lock();
+            st.versions.last_sequence()
+        };
+        self.iter_at(seq)
+    }
+
+    /// Scan cursor at an explicit sequence.
+    pub fn iter_at(&self, snapshot: SequenceNumber) -> DbIter {
+        let inner = &*self.inner;
+        let (mem, imm, version) = {
+            let st = inner.state.lock();
+            (st.mem.clone(), st.imm.clone(), st.versions.current())
+        };
+        let mut children: Vec<Box<dyn KvIter>> = Vec::new();
+        children.push(Box::new(mem.iter()));
+        if let Some(imm) = imm {
+            children.push(Box::new(imm.iter()));
+        }
+        for f in &version.levels[0] {
+            if let Ok(t) = inner.cache.get(f.number) {
+                children.push(Box::new(t.iter()));
+            }
+        }
+        for level in 1..NUM_LEVELS {
+            if !version.levels[level].is_empty() {
+                children.push(Box::new(LevelIter::new(
+                    version.levels[level].clone(),
+                    Arc::clone(&inner.cache),
+                )));
+            }
+        }
+        DbIter::new(
+            MergingIter::new(children, internal_key_cmp),
+            snapshot,
+        )
+        .pin_version(version)
+    }
+
+    /// Forces the current memtable out to level 0 and waits.
+    pub fn flush(&self) -> io::Result<()> {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        if st.mem.is_empty() && st.imm.is_none() {
+            return Ok(());
+        }
+        if !st.mem.is_empty() {
+            // Rotate (waiting for any previous imm first).
+            while st.imm.is_some() {
+                inner.done_cv.wait(&mut st);
+                inner.check_bg_error(&st)?;
+            }
+            inner.rotate_memtable(&mut st)?;
+        }
+        while st.imm.is_some() {
+            inner.work_cv.notify_all();
+            inner.done_cv.wait(&mut st);
+            inner.check_bg_error(&st)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until no flush or compaction work remains.
+    pub fn wait_idle(&self) -> io::Result<()> {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        loop {
+            inner.check_bg_error(&st)?;
+            let has_work = st.imm.is_some()
+                || st.versions.pick_compaction(&inner.opts.policy).is_some();
+            if !st.bg_active && !has_work {
+                return Ok(());
+            }
+            inner.work_cv.notify_all();
+            inner.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Synchronously compacts every level containing data in `[lo, hi]`
+    /// (unbounded when `None`), top down.
+    pub fn compact_range(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> io::Result<()> {
+        self.flush()?;
+        let inner = &*self.inner;
+        for level in 0..NUM_LEVELS - 1 {
+            loop {
+                let mut st = inner.state.lock();
+                while st.bg_active {
+                    inner.done_cv.wait(&mut st);
+                }
+                inner.check_bg_error(&st)?;
+                let pick = st.versions.pick_range(level, lo, hi);
+                match pick {
+                    None => break,
+                    Some(pick) => {
+                        st.bg_active = true;
+                        let result = inner.run_compaction(&mut st, pick);
+                        st.bg_active = false;
+                        inner.done_cv.notify_all();
+                        drop(st);
+                        result?;
+                        break; // one pass per level
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.inner.metrics;
+        MetricsSnapshot {
+            puts: m.puts.load(AtomicOrdering::Relaxed),
+            gets: m.gets.load(AtomicOrdering::Relaxed),
+            stall_events: m.stall_events.load(AtomicOrdering::Relaxed),
+            stall_time: Duration::from_nanos(m.stall_nanos.load(AtomicOrdering::Relaxed)),
+            slowdown_events: m.slowdown_events.load(AtomicOrdering::Relaxed),
+            flush_count: m.flush_count.load(AtomicOrdering::Relaxed),
+            flush_bytes: m.flush_bytes.load(AtomicOrdering::Relaxed),
+            compaction_count: m.compaction_count.load(AtomicOrdering::Relaxed),
+            compaction_input_bytes: m
+                .compaction_input_bytes
+                .load(AtomicOrdering::Relaxed),
+            compaction_output_bytes: m
+                .compaction_output_bytes
+                .load(AtomicOrdering::Relaxed),
+            compaction_time: Duration::from_nanos(
+                m.compaction_nanos.load(AtomicOrdering::Relaxed),
+            ),
+            trivial_moves: m.trivial_moves.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Per-level (file count, bytes) summary.
+    pub fn level_summary(&self) -> Vec<(usize, u64)> {
+        let st = self.inner.state.lock();
+        let v = st.versions.current();
+        (0..NUM_LEVELS)
+            .map(|l| (v.level_files(l), v.level_bytes(l)))
+            .collect()
+    }
+
+    /// The environment this database lives on.
+    pub fn env(&self) -> &EnvRef {
+        &self.inner.env
+    }
+
+    /// Estimates the on-disk bytes holding user keys in `[lo, hi]`
+    /// (unbounded when `None`), from table metadata: full size for tables
+    /// entirely inside the range, half for tables straddling an edge. The
+    /// live memtable is not counted.
+    pub fn approximate_size(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> u64 {
+        let version = {
+            let st = self.inner.state.lock();
+            st.versions.current()
+        };
+        let inside = |k: &[u8]| -> bool {
+            lo.is_none_or(|lo| k >= lo) && hi.is_none_or(|hi| k <= hi)
+        };
+        let mut total = 0u64;
+        for files in &version.levels {
+            for f in files {
+                if !f.overlaps_user_range(lo, hi) {
+                    continue;
+                }
+                let fully_inside = inside(pcp_sstable::key::user_key(&f.smallest))
+                    && inside(pcp_sstable::key::user_key(&f.largest));
+                total += if fully_inside { f.size } else { f.size / 2 };
+            }
+        }
+        total
+    }
+
+    /// Walks every live table, verifying file-level metadata, block
+    /// checksums (the S2 step, applied offline), decompression, entry
+    /// ordering, and level disjointness. Returns a report; `errors` is
+    /// empty on a healthy store.
+    pub fn verify_integrity(&self) -> io::Result<IntegrityReport> {
+        let version = {
+            let st = self.inner.state.lock();
+            st.versions.current()
+        };
+        let mut report = IntegrityReport::default();
+        if let Err(e) = version.check_invariants() {
+            report.errors.push(format!("level invariants: {e}"));
+        }
+        for (level, files) in version.levels.iter().enumerate() {
+            for meta in files {
+                report.tables += 1;
+                let table = match self.inner.cache.get(meta.number) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        report
+                            .errors
+                            .push(format!("L{level} table {}: open failed: {e}", meta.number));
+                        continue;
+                    }
+                };
+                let stats = table.stats();
+                if stats.entries != meta.entries {
+                    report.errors.push(format!(
+                        "L{level} table {}: manifest says {} entries, table says {}",
+                        meta.number, meta.entries, stats.entries
+                    ));
+                }
+                match table.block_metas() {
+                    Err(e) => report
+                        .errors
+                        .push(format!("L{level} table {}: index: {e}", meta.number)),
+                    Ok(metas) => {
+                        for bm in &metas {
+                            report.blocks += 1;
+                            report.entries += bm.entries;
+                            let result = table
+                                .read_raw_block(bm.handle)
+                                .and_then(|raw| {
+                                    let (payload, kind) =
+                                        pcp_sstable::table::verify_block(&raw)?;
+                                    pcp_sstable::table::decompress_block(payload, kind)
+                                })
+                                .map(|_| ());
+                            if let Err(e) = result {
+                                report.errors.push(format!(
+                                    "L{level} table {} block @{}: {e}",
+                                    meta.number, bm.handle.offset
+                                ));
+                            }
+                        }
+                        for w in metas.windows(2) {
+                            if pcp_sstable::internal_key_cmp(&w[0].last_key, &w[1].first_key)
+                                != std::cmp::Ordering::Less
+                            {
+                                report.errors.push(format!(
+                                    "L{level} table {}: blocks out of order",
+                                    meta.number
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Human-readable engine summary (levels, counters) for diagnostics.
+    pub fn debug_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let m = self.metrics();
+        let summary = self.level_summary();
+        let _ = writeln!(out, "=== pcp-lsm engine state ===");
+        for (level, (files, bytes)) in summary.iter().enumerate() {
+            if *files > 0 {
+                let _ = writeln!(
+                    out,
+                    "  L{level}: {files:4} files  {:10.2} MB",
+                    *bytes as f64 / 1048576.0
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  writes: {} puts, {} stalls ({:.1} ms), {} slowdowns",
+            m.puts,
+            m.stall_events,
+            m.stall_time.as_secs_f64() * 1e3,
+            m.slowdown_events
+        );
+        let _ = writeln!(
+            out,
+            "  flushes: {} ({:.2} MB)   compactions: {} (+{} moves), {:.2} MB at {:.1} MB/s",
+            m.flush_count,
+            m.flush_bytes as f64 / 1048576.0,
+            m.compaction_count,
+            m.trivial_moves,
+            (m.compaction_input_bytes + m.compaction_output_bytes) as f64 / 1048576.0,
+            m.compaction_bandwidth() / 1048576.0,
+        );
+        out
+    }
+}
+
+/// Result of [`Db::verify_integrity`].
+#[derive(Debug, Default)]
+pub struct IntegrityReport {
+    /// Tables inspected.
+    pub tables: u64,
+    /// Data blocks whose checksums were verified.
+    pub blocks: u64,
+    /// Entries accounted by block metadata.
+    pub entries: u64,
+    /// Problems found (empty = healthy).
+    pub errors: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// True when no corruption or inconsistency was found.
+    pub fn is_healthy(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, AtomicOrdering::SeqCst);
+        self.inner.work_cv.notify_all();
+        if let Some(handle) = self.bg_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl DbInner {
+    fn check_bg_error(&self, st: &State) -> io::Result<()> {
+        match &st.bg_error {
+            Some(e) => Err(io::Error::other(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Ensures the memtable has room, applying slowdown/stall policy.
+    fn make_room_for_write(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
+        let mut slowdown_done = false;
+        loop {
+            self.check_bg_error(st)?;
+            let l0_files = st.versions.current().level_files(0);
+            if !slowdown_done
+                && l0_files >= self.opts.l0_slowdown_files
+                && l0_files < self.opts.l0_stop_files
+            {
+                // Gentle backpressure: yield 1 ms to the compactor.
+                slowdown_done = true;
+                self.metrics
+                    .slowdown_events
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.work_cv.notify_all();
+                MutexGuard::unlocked(st, || std::thread::sleep(Duration::from_millis(1)));
+                continue;
+            }
+            if st.mem.approximate_bytes() < self.opts.memtable_bytes {
+                return Ok(());
+            }
+            if st.imm.is_some() {
+                // Previous memtable still flushing: write pause.
+                self.stall_wait(st);
+                continue;
+            }
+            if st.versions.current().level_files(0) >= self.opts.l0_stop_files {
+                self.stall_wait(st);
+                continue;
+            }
+            self.rotate_memtable(st)?;
+        }
+    }
+
+    fn stall_wait(&self, st: &mut MutexGuard<'_, State>) {
+        self.metrics
+            .stall_events
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        let t0 = Instant::now();
+        self.work_cv.notify_all();
+        self.done_cv.wait(st);
+        self.metrics
+            .stall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+    }
+
+    fn rotate_memtable(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
+        debug_assert!(st.imm.is_none());
+        let new_wal_number = st.versions.allocate_file_number();
+        let new_wal = WalWriter::create(&*self.env, &wal_file(new_wal_number))?;
+        if let Some(mut old) = st.wal.replace(new_wal) {
+            old.sync()?;
+        }
+        st.wal_number = new_wal_number;
+        st.imm = Some(std::mem::replace(&mut st.mem, Arc::new(Memtable::new())));
+        self.work_cv.notify_all();
+        Ok(())
+    }
+
+    fn search_tables(
+        &self,
+        version: &Version,
+        key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let target = lookup_key(key, snapshot);
+        // L0: newest first; files may overlap.
+        for f in &version.levels[0] {
+            if !f.overlaps_user_range(Some(key), Some(key)) {
+                continue;
+            }
+            if let Some(found) = self.search_one_table(f.number, &target, key)? {
+                return Ok(found);
+            }
+        }
+        for level in 1..NUM_LEVELS {
+            let Some(f) = version.file_for_key(level, key) else {
+                continue;
+            };
+            if let Some(found) = self.search_one_table(f.number, &target, key)? {
+                return Ok(found);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Returns `Some(outcome)` when this table decides the lookup:
+    /// `Some(Some(v))` live value, `Some(None)` tombstone.
+    fn search_one_table(
+        &self,
+        number: u64,
+        target: &[u8],
+        key: &[u8],
+    ) -> io::Result<Option<Option<Vec<u8>>>> {
+        let table = self
+            .cache
+            .get(number)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let hit = table
+            .get(target)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        if let Some((ikey, value)) = hit {
+            let parsed = parse_internal_key(&ikey)
+                .ok_or_else(|| io::Error::other("malformed key in table"))?;
+            if parsed.user_key == key {
+                return Ok(Some(match parsed.value_type {
+                    ValueType::Value => Some(value),
+                    ValueType::Deletion => None,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    // -- background -------------------------------------------------------
+
+    fn background_loop(self: Arc<Self>) {
+        let mut st = self.state.lock();
+        loop {
+            if self.shutdown.load(AtomicOrdering::SeqCst) {
+                return;
+            }
+            let has_flush = st.imm.is_some();
+            let pick = if has_flush {
+                None
+            } else {
+                st.versions.pick_compaction(&self.opts.policy)
+            };
+            if !has_flush && pick.is_none() {
+                self.done_cv.notify_all();
+                self.work_cv.wait(&mut st);
+                continue;
+            }
+            st.bg_active = true;
+            let result = if has_flush {
+                self.run_flush(&mut st)
+            } else {
+                self.run_compaction(&mut st, pick.unwrap())
+            };
+            if let Err(e) = result {
+                st.bg_error = Some(e.to_string());
+            }
+            st.bg_active = false;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn run_flush(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
+        let imm = st.imm.as_ref().expect("imm present").clone();
+        let number = st.versions.allocate_file_number();
+        let wal_number = st.wal_number;
+        let env = Arc::clone(&self.env);
+        let opts = self.opts.clone();
+
+        let meta = if imm.is_empty() {
+            None
+        } else {
+            // Build the table without holding the lock: this is real
+            // (simulated) I/O plus compression work.
+            MutexGuard::unlocked(st, || {
+                Db::write_memtable_to_table(&env, &opts, &imm, number)
+            })
+            .map(Some)?
+        };
+
+        let mut edit = VersionEdit {
+            log_number: Some(wal_number),
+            ..Default::default()
+        };
+        if let Some(meta) = &meta {
+            self.metrics
+                .flush_bytes
+                .fetch_add(meta.size, AtomicOrdering::Relaxed);
+            edit.new_files.push((0, Arc::clone(meta)));
+        }
+        st.versions.log_and_apply(edit)?;
+        st.imm = None;
+        self.metrics
+            .flush_count
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.gc_files(st);
+        Ok(())
+    }
+
+    fn run_compaction(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        pick: CompactionPick,
+    ) -> io::Result<()> {
+        match pick {
+            CompactionPick::TrivialMove { level, file } => {
+                let edit = VersionEdit {
+                    deleted_files: vec![(level, file.number)],
+                    new_files: vec![(level + 1, Arc::clone(&file))],
+                    compact_pointers: vec![(level, file.largest.clone())],
+                    ..Default::default()
+                };
+                st.versions.log_and_apply(edit)?;
+                self.metrics
+                    .trivial_moves
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                Ok(())
+            }
+            CompactionPick::Merge {
+                level,
+                inputs_upper,
+                inputs_lower,
+                pointer_key,
+            } => {
+                let open = |metas: &[Arc<FileMetadata>]| -> io::Result<Vec<_>> {
+                    metas
+                        .iter()
+                        .map(|m| {
+                            self.cache
+                                .get(m.number)
+                                .map_err(|e| io::Error::other(e.to_string()))
+                        })
+                        .collect()
+                };
+                let upper = open(&inputs_upper)?;
+                let lower = open(&inputs_lower)?;
+                let output_level = level + 1;
+                let bottom_level = {
+                    // Scoped so this Version ref is gone before gc_files
+                    // runs (a held Version pins its files against GC).
+                    let version = st.versions.current();
+                    ((output_level + 1)..NUM_LEVELS)
+                        .all(|l| version.levels[l].is_empty())
+                };
+                let smallest_snapshot = st
+                    .snapshots
+                    .keys()
+                    .next()
+                    .copied()
+                    .unwrap_or_else(|| st.versions.last_sequence());
+                let req = CompactionRequest {
+                    env: Arc::clone(&self.env),
+                    upper,
+                    lower,
+                    output_level,
+                    bottom_level,
+                    smallest_snapshot,
+                    file_numbers: st.versions.file_number_counter(),
+                    table_opts: self.opts.table_opts(),
+                    max_output_bytes: self.opts.sstable_bytes,
+                };
+                let executor = Arc::clone(&self.opts.executor);
+                let t0 = Instant::now();
+                let outputs = MutexGuard::unlocked(st, || executor.compact(&req))
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                let elapsed = t0.elapsed();
+
+                let input_bytes: u64 = inputs_upper
+                    .iter()
+                    .chain(inputs_lower.iter())
+                    .map(|f| f.size)
+                    .sum();
+                let output_bytes: u64 = outputs.iter().map(|f| f.size).sum();
+                let edit = VersionEdit {
+                    deleted_files: inputs_upper
+                        .iter()
+                        .map(|f| (level, f.number))
+                        .chain(inputs_lower.iter().map(|f| (output_level, f.number)))
+                        .collect(),
+                    new_files: outputs
+                        .iter()
+                        .map(|f| (output_level, Arc::clone(f)))
+                        .collect(),
+                    compact_pointers: vec![(level, pointer_key)],
+                    ..Default::default()
+                };
+                st.versions.log_and_apply(edit)?;
+                self.metrics
+                    .compaction_count
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.metrics
+                    .compaction_input_bytes
+                    .fetch_add(input_bytes, AtomicOrdering::Relaxed);
+                self.metrics
+                    .compaction_output_bytes
+                    .fetch_add(output_bytes, AtomicOrdering::Relaxed);
+                self.metrics
+                    .compaction_nanos
+                    .fetch_add(elapsed.as_nanos() as u64, AtomicOrdering::Relaxed);
+                self.gc_files(st);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes files no longer referenced: tables absent from the live set
+    /// and WALs older than the manifest's log number.
+    fn gc_files(&self, st: &mut MutexGuard<'_, State>) {
+        let live = st.versions.live_files();
+        let log_number = st.versions.log_number();
+        let current_wal = st.wal_number;
+        let Ok(names) = self.env.list() else { return };
+        for name in names {
+            match parse_file_name(&name) {
+                Some((FileKind::Table, num)) if !live.contains(&num) => {
+                    self.cache.evict(num);
+                    let _ = self.env.delete(&name);
+                }
+                Some((FileKind::Wal, num)) if num < log_number && num != current_wal => {
+                    let _ = self.env.delete(&name);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Version edits: the deltas recorded in the MANIFEST.
+//!
+//! Each mutation of the file-set (a memtable flush, a compaction) is
+//! described by a [`VersionEdit`] and appended to the manifest log; recovery
+//! replays the edits to rebuild the live [`crate::version::Version`].
+//!
+//! Encoding: tagged fields, each `varint(tag)` followed by tag-specific
+//! payload. Unknown tags abort decoding (format version discipline).
+
+use crate::version::FileMetadata;
+use std::sync::Arc;
+
+const TAG_LOG_NUMBER: u64 = 2;
+const TAG_NEXT_FILE: u64 = 3;
+const TAG_LAST_SEQUENCE: u64 = 4;
+const TAG_COMPACT_POINTER: u64 = 5;
+const TAG_DELETED_FILE: u64 = 6;
+const TAG_NEW_FILE: u64 = 7;
+
+/// A delta against the current version.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VersionEdit {
+    /// WAL number whose contents are now fully durable in tables.
+    pub log_number: Option<u64>,
+    /// High-water mark for file numbers.
+    pub next_file_number: Option<u64>,
+    /// High-water mark for sequence numbers.
+    pub last_sequence: Option<u64>,
+    /// Per-level round-robin compaction cursors.
+    pub compact_pointers: Vec<(usize, Vec<u8>)>,
+    /// Files removed, as (level, file number).
+    pub deleted_files: Vec<(usize, u64)>,
+    /// Files added, as (level, metadata).
+    pub new_files: Vec<(usize, Arc<FileMetadata>)>,
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    pcp_codec::put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(input: &[u8]) -> Result<(Vec<u8>, usize), String> {
+    let (len, n) = pcp_codec::decode_u64(input).map_err(|e| e.to_string())?;
+    let end = n + len as usize;
+    if end > input.len() {
+        return Err("byte field overruns record".into());
+    }
+    Ok((input[n..end].to_vec(), end))
+}
+
+impl VersionEdit {
+    /// Serializes the edit to a manifest record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(v) = self.log_number {
+            pcp_codec::put_u64(&mut out, TAG_LOG_NUMBER);
+            pcp_codec::put_u64(&mut out, v);
+        }
+        if let Some(v) = self.next_file_number {
+            pcp_codec::put_u64(&mut out, TAG_NEXT_FILE);
+            pcp_codec::put_u64(&mut out, v);
+        }
+        if let Some(v) = self.last_sequence {
+            pcp_codec::put_u64(&mut out, TAG_LAST_SEQUENCE);
+            pcp_codec::put_u64(&mut out, v);
+        }
+        for (level, key) in &self.compact_pointers {
+            pcp_codec::put_u64(&mut out, TAG_COMPACT_POINTER);
+            pcp_codec::put_u64(&mut out, *level as u64);
+            put_bytes(&mut out, key);
+        }
+        for (level, number) in &self.deleted_files {
+            pcp_codec::put_u64(&mut out, TAG_DELETED_FILE);
+            pcp_codec::put_u64(&mut out, *level as u64);
+            pcp_codec::put_u64(&mut out, *number);
+        }
+        for (level, f) in &self.new_files {
+            pcp_codec::put_u64(&mut out, TAG_NEW_FILE);
+            pcp_codec::put_u64(&mut out, *level as u64);
+            pcp_codec::put_u64(&mut out, f.number);
+            pcp_codec::put_u64(&mut out, f.size);
+            pcp_codec::put_u64(&mut out, f.entries);
+            put_bytes(&mut out, &f.smallest);
+            put_bytes(&mut out, &f.largest);
+        }
+        out
+    }
+
+    /// Parses a manifest record payload.
+    pub fn decode(mut input: &[u8]) -> Result<VersionEdit, String> {
+        let mut edit = VersionEdit::default();
+        let u64_field = |input: &mut &[u8]| -> Result<u64, String> {
+            let (v, n) = pcp_codec::decode_u64(input).map_err(|e| e.to_string())?;
+            *input = &input[n..];
+            Ok(v)
+        };
+        while !input.is_empty() {
+            let tag = u64_field(&mut input)?;
+            match tag {
+                TAG_LOG_NUMBER => edit.log_number = Some(u64_field(&mut input)?),
+                TAG_NEXT_FILE => edit.next_file_number = Some(u64_field(&mut input)?),
+                TAG_LAST_SEQUENCE => edit.last_sequence = Some(u64_field(&mut input)?),
+                TAG_COMPACT_POINTER => {
+                    let level = u64_field(&mut input)? as usize;
+                    let (key, n) = get_bytes(input)?;
+                    input = &input[n..];
+                    edit.compact_pointers.push((level, key));
+                }
+                TAG_DELETED_FILE => {
+                    let level = u64_field(&mut input)? as usize;
+                    let number = u64_field(&mut input)?;
+                    edit.deleted_files.push((level, number));
+                }
+                TAG_NEW_FILE => {
+                    let level = u64_field(&mut input)? as usize;
+                    let number = u64_field(&mut input)?;
+                    let size = u64_field(&mut input)?;
+                    let entries = u64_field(&mut input)?;
+                    let (smallest, n) = get_bytes(input)?;
+                    input = &input[n..];
+                    let (largest, n) = get_bytes(input)?;
+                    input = &input[n..];
+                    edit.new_files.push((
+                        level,
+                        Arc::new(FileMetadata {
+                            number,
+                            size,
+                            entries,
+                            smallest,
+                            largest,
+                        }),
+                    ));
+                }
+                other => return Err(format!("unknown version-edit tag {other}")),
+            }
+        }
+        Ok(edit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_sstable::key::{make_internal_key, ValueType};
+
+    fn sample_file(n: u64) -> Arc<FileMetadata> {
+        Arc::new(FileMetadata {
+            number: n,
+            size: 2 << 20,
+            entries: 1000,
+            smallest: make_internal_key(b"aaa", 1, ValueType::Value),
+            largest: make_internal_key(b"zzz", 999, ValueType::Value),
+        })
+    }
+
+    #[test]
+    fn roundtrip_full_edit() {
+        let edit = VersionEdit {
+            log_number: Some(12),
+            next_file_number: Some(99),
+            last_sequence: Some(123456789),
+            compact_pointers: vec![(1, b"cursor-key".to_vec()), (3, Vec::new())],
+            deleted_files: vec![(2, 17), (3, 18)],
+            new_files: vec![(3, sample_file(20)), (3, sample_file(21))],
+        };
+        let enc = edit.encode();
+        let dec = VersionEdit::decode(&enc).unwrap();
+        assert_eq!(dec, edit);
+    }
+
+    #[test]
+    fn roundtrip_empty_edit() {
+        let edit = VersionEdit::default();
+        assert_eq!(VersionEdit::decode(&edit.encode()).unwrap(), edit);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut enc = Vec::new();
+        pcp_codec::put_u64(&mut enc, 99);
+        assert!(VersionEdit::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let edit = VersionEdit {
+            new_files: vec![(1, sample_file(5))],
+            ..Default::default()
+        };
+        let enc = edit.encode();
+        assert!(VersionEdit::decode(&enc[..enc.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! File naming conventions (LevelDB-compatible in spirit).
+//!
+//! * `NNNNNN.sst` — SSTable
+//! * `NNNNNN.log` — write-ahead log
+//! * `MANIFEST-NNNNNN` — version-edit log
+//! * `CURRENT` — name of the live manifest
+
+/// Kinds of files a database directory contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    Table,
+    Wal,
+    Manifest,
+    Current,
+    Temp,
+}
+
+/// `NNNNNN.sst`
+pub fn table_file(number: u64) -> String {
+    format!("{number:06}.sst")
+}
+
+/// `NNNNNN.log`
+pub fn wal_file(number: u64) -> String {
+    format!("{number:06}.log")
+}
+
+/// `MANIFEST-NNNNNN`
+pub fn manifest_file(number: u64) -> String {
+    format!("MANIFEST-{number:06}")
+}
+
+/// The CURRENT pointer file.
+pub const CURRENT: &str = "CURRENT";
+
+/// Parses a file name into its kind and number (if any).
+pub fn parse_file_name(name: &str) -> Option<(FileKind, u64)> {
+    if name == CURRENT {
+        return Some((FileKind::Current, 0));
+    }
+    if let Some(num) = name.strip_prefix("MANIFEST-") {
+        return num.parse().ok().map(|n| (FileKind::Manifest, n));
+    }
+    if let Some(num) = name.strip_suffix(".sst") {
+        return num.parse().ok().map(|n| (FileKind::Table, n));
+    }
+    if let Some(num) = name.strip_suffix(".log") {
+        return num.parse().ok().map(|n| (FileKind::Wal, n));
+    }
+    if let Some(num) = name.strip_suffix(".tmp") {
+        return num.parse().ok().map(|n| (FileKind::Temp, n));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        assert_eq!(parse_file_name(&table_file(7)), Some((FileKind::Table, 7)));
+        assert_eq!(parse_file_name(&wal_file(42)), Some((FileKind::Wal, 42)));
+        assert_eq!(
+            parse_file_name(&manifest_file(3)),
+            Some((FileKind::Manifest, 3))
+        );
+        assert_eq!(parse_file_name(CURRENT), Some((FileKind::Current, 0)));
+    }
+
+    #[test]
+    fn large_numbers_keep_working() {
+        let n = 123_456_789;
+        assert_eq!(parse_file_name(&table_file(n)), Some((FileKind::Table, n)));
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert_eq!(parse_file_name("README.md"), None);
+        assert_eq!(parse_file_name("xyz.sst"), None);
+        assert_eq!(parse_file_name("MANIFEST-"), None);
+        assert_eq!(parse_file_name(""), None);
+    }
+}

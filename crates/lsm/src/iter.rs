@@ -1,0 +1,442 @@
+//! Read-path iterators: per-level concatenation and the user-facing
+//! snapshot-consistent scan cursor.
+
+use crate::table_cache::TableCache;
+use crate::version::{FileMetadata, Version};
+use pcp_sstable::key::{
+    internal_key_cmp, lookup_key, parse_internal_key, SequenceNumber, ValueType,
+};
+use pcp_sstable::{KvIter, MergingIter, TableIter};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Concatenating iterator over one sorted, disjoint level (levels ≥ 1):
+/// walks the file list, opening one table at a time through the cache.
+pub struct LevelIter {
+    files: Vec<Arc<FileMetadata>>,
+    cache: Arc<TableCache>,
+    /// Index of the file the current cursor is in.
+    index: usize,
+    table_iter: Option<TableIter>,
+}
+
+impl LevelIter {
+    /// Builds a cursor over `files`, which must be sorted by smallest key
+    /// and disjoint (a version's level ≥ 1 file list).
+    pub fn new(files: Vec<Arc<FileMetadata>>, cache: Arc<TableCache>) -> LevelIter {
+        let index = files.len();
+        LevelIter {
+            files,
+            cache,
+            index,
+            table_iter: None,
+        }
+    }
+
+    fn open_table(&mut self, index: usize) -> Option<TableIter> {
+        let meta = self.files.get(index)?;
+        let reader = self.cache.get(meta.number).ok()?;
+        Some(reader.iter())
+    }
+
+    fn skip_to_valid(&mut self) {
+        loop {
+            if self
+                .table_iter
+                .as_ref()
+                .is_some_and(|t| t.valid())
+            {
+                return;
+            }
+            self.index += 1;
+            if self.index >= self.files.len() {
+                self.table_iter = None;
+                return;
+            }
+            self.table_iter = self.open_table(self.index);
+            if let Some(t) = &mut self.table_iter {
+                t.seek_to_first();
+            } else {
+                return; // I/O error: surface as exhausted
+            }
+        }
+    }
+}
+
+impl KvIter for LevelIter {
+    fn valid(&self) -> bool {
+        self.table_iter.as_ref().is_some_and(|t| t.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index = 0;
+        self.table_iter = self.open_table(0);
+        if let Some(t) = &mut self.table_iter {
+            t.seek_to_first();
+        }
+        self.skip_to_valid();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        // First file whose largest key >= target.
+        self.index = self
+            .files
+            .partition_point(|f| internal_key_cmp(&f.largest, target) == Ordering::Less);
+        if self.index >= self.files.len() {
+            self.table_iter = None;
+            return;
+        }
+        self.table_iter = self.open_table(self.index);
+        if let Some(t) = &mut self.table_iter {
+            t.seek(target);
+        }
+        self.skip_to_valid();
+    }
+
+    fn next(&mut self) {
+        if let Some(t) = &mut self.table_iter {
+            t.next();
+        }
+        self.skip_to_valid();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.table_iter.as_ref().expect("valid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.table_iter.as_ref().expect("valid").value()
+    }
+}
+
+/// User-facing scan cursor: merges every source, then applies snapshot
+/// visibility (sequence ≤ snapshot), per-user-key version collapse, and
+/// tombstone suppression. Yields **user** keys and live values only.
+pub struct DbIter {
+    merged: MergingIter,
+    snapshot: SequenceNumber,
+    current_key: Vec<u8>,
+    current_value: Vec<u8>,
+    valid: bool,
+    /// Keeps the source version alive so file GC cannot delete (and the
+    /// simulated filesystem cannot reuse the extents of) tables this
+    /// cursor still reads. See `VersionSet::live_files`.
+    _pinned_version: Option<Arc<Version>>,
+}
+
+impl DbIter {
+    /// Wraps an internal-key merge of all sources at `snapshot`.
+    pub fn new(merged: MergingIter, snapshot: SequenceNumber) -> DbIter {
+        DbIter {
+            merged,
+            snapshot,
+            current_key: Vec::new(),
+            current_value: Vec::new(),
+            valid: false,
+            _pinned_version: None,
+        }
+    }
+
+    /// Pins `version` for this cursor's lifetime (required when the
+    /// sources include on-disk tables of a live database).
+    pub fn pin_version(mut self, version: Arc<Version>) -> DbIter {
+        self._pinned_version = Some(version);
+        self
+    }
+
+    /// True if positioned on a live user entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current user key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.current_key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.current_value
+    }
+
+    /// Positions at the first live user key.
+    pub fn seek_to_first(&mut self) {
+        self.merged.seek_to_first();
+        self.find_next_user_entry(None);
+    }
+
+    /// Positions at the first live user key `>= target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.merged.seek(&lookup_key(target, self.snapshot));
+        self.find_next_user_entry(None);
+    }
+
+    /// Advances to the next live user key.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        let skip = std::mem::take(&mut self.current_key);
+        self.find_next_user_entry(Some(&skip));
+    }
+
+    /// Scans forward for the newest visible version of the next user key
+    /// not equal to `skip_user_key`, skipping tombstoned keys.
+    fn find_next_user_entry(&mut self, skip_user_key: Option<&[u8]>) {
+        let mut skip: Option<Vec<u8>> = skip_user_key.map(|k| k.to_vec());
+        self.valid = false;
+        while self.merged.valid() {
+            let ikey = self.merged.key();
+            let parsed = parse_internal_key(ikey).expect("well-formed internal key");
+            if parsed.sequence > self.snapshot {
+                self.merged.next();
+                continue;
+            }
+            if skip
+                .as_deref()
+                .is_some_and(|s| s == parsed.user_key)
+            {
+                self.merged.next();
+                continue;
+            }
+            match parsed.value_type {
+                ValueType::Deletion => {
+                    // Key is dead at this snapshot; skip all its versions.
+                    skip = Some(parsed.user_key.to_vec());
+                    self.merged.next();
+                }
+                ValueType::Value => {
+                    self.current_key.clear();
+                    self.current_key.extend_from_slice(parsed.user_key);
+                    self.current_value.clear();
+                    self.current_value.extend_from_slice(self.merged.value());
+                    self.valid = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod level_iter_tests {
+    use super::*;
+    use crate::filename::table_file;
+    use pcp_sstable::key::{make_internal_key, user_key, MAX_SEQUENCE};
+    use pcp_sstable::{TableBuilder, TableBuilderOptions};
+    use pcp_storage::{EnvRef, SimDevice, SimEnv};
+
+    /// Builds a level of three disjoint tables covering key ranges
+    /// [0,99], [200,299], [400,499].
+    fn level_fixture() -> (Arc<TableCache>, Vec<Arc<FileMetadata>>) {
+        let env: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(64 << 20))));
+        let mut files = Vec::new();
+        for (number, base) in [(1u64, 0u64), (2, 200), (3, 400)] {
+            let f = env.create(&table_file(number)).unwrap();
+            let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+            let mut smallest = Vec::new();
+            let mut largest = Vec::new();
+            for i in 0..100u64 {
+                let ik = make_internal_key(
+                    format!("k{:04}", base + i).as_bytes(),
+                    i + 1,
+                    ValueType::Value,
+                );
+                if smallest.is_empty() {
+                    smallest = ik.clone();
+                }
+                largest = ik.clone();
+                b.add(&ik, format!("v{}", base + i).as_bytes()).unwrap();
+            }
+            let stats = b.finish().unwrap();
+            files.push(Arc::new(FileMetadata {
+                number,
+                size: stats.file_size,
+                entries: stats.entries,
+                smallest,
+                largest,
+            }));
+        }
+        (Arc::new(TableCache::new(env)), files)
+    }
+
+    #[test]
+    fn full_scan_concatenates_all_files() {
+        let (cache, files) = level_fixture();
+        let mut it = LevelIter::new(files, cache);
+        it.seek_to_first();
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        while it.valid() {
+            if let Some(p) = &prev {
+                assert_eq!(
+                    internal_key_cmp(p, it.key()),
+                    Ordering::Less,
+                    "ordering across file boundaries"
+                );
+            }
+            prev = Some(it.key().to_vec());
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 300);
+    }
+
+    #[test]
+    fn seek_lands_within_and_between_files() {
+        let (cache, files) = level_fixture();
+        let mut it = LevelIter::new(files, cache);
+        // Inside the second file.
+        it.seek(&make_internal_key(b"k0250", MAX_SEQUENCE, ValueType::Value));
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"k0250");
+        // In the gap between files 1 and 2: lands on file 2's first key.
+        it.seek(&make_internal_key(b"k0150", MAX_SEQUENCE, ValueType::Value));
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"k0200");
+        // Before everything.
+        it.seek(&make_internal_key(b"a", MAX_SEQUENCE, ValueType::Value));
+        assert_eq!(user_key(it.key()), b"k0000");
+        // Past everything.
+        it.seek(&make_internal_key(b"z", MAX_SEQUENCE, ValueType::Value));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn next_crosses_file_boundary() {
+        let (cache, files) = level_fixture();
+        let mut it = LevelIter::new(files, cache);
+        it.seek(&make_internal_key(b"k0099", MAX_SEQUENCE, ValueType::Value));
+        assert_eq!(user_key(it.key()), b"k0099");
+        it.next();
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"k0200", "crossed into the next file");
+    }
+
+    #[test]
+    fn empty_level_is_always_invalid() {
+        let (cache, _) = level_fixture();
+        let mut it = LevelIter::new(Vec::new(), cache);
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek(b"anything-with-trailerXX");
+        assert!(!it.valid());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_sstable::key::make_internal_key;
+    use pcp_sstable::VecIter;
+
+    fn source(entries: Vec<(&[u8], u64, ValueType, &[u8])>) -> Box<dyn KvIter> {
+        let mut v: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .into_iter()
+            .map(|(k, s, t, val)| (make_internal_key(k, s, t), val.to_vec()))
+            .collect();
+        v.sort_by(|a, b| internal_key_cmp(&a.0, &b.0));
+        Box::new(VecIter::new(v, internal_key_cmp))
+    }
+
+    fn db_iter(sources: Vec<Box<dyn KvIter>>, snapshot: u64) -> DbIter {
+        DbIter::new(MergingIter::new(sources, internal_key_cmp), snapshot)
+    }
+
+    fn drain(it: &mut DbIter) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let s = source(vec![
+            (b"k", 1, ValueType::Value, b"old"),
+            (b"k", 9, ValueType::Value, b"new"),
+        ]);
+        let mut it = db_iter(vec![s], 100);
+        it.seek_to_first();
+        assert_eq!(drain(&mut it), vec![(b"k".to_vec(), b"new".to_vec())]);
+    }
+
+    #[test]
+    fn tombstoned_keys_are_invisible() {
+        let s = source(vec![
+            (b"a", 1, ValueType::Value, b"va"),
+            (b"b", 2, ValueType::Value, b"vb"),
+            (b"b", 5, ValueType::Deletion, b""),
+            (b"c", 3, ValueType::Value, b"vc"),
+        ]);
+        let mut it = db_iter(vec![s], 100);
+        it.seek_to_first();
+        let got = drain(&mut it);
+        assert_eq!(
+            got.iter().map(|(k, _)| k.as_slice()).collect::<Vec<_>>(),
+            vec![b"a".as_slice(), b"c"]
+        );
+    }
+
+    #[test]
+    fn snapshot_hides_later_writes_and_deletes() {
+        let s = source(vec![
+            (b"k", 3, ValueType::Value, b"v3"),
+            (b"k", 7, ValueType::Deletion, b""),
+            (b"k", 9, ValueType::Value, b"v9"),
+        ]);
+        // Snapshot 5: only seq-3 value visible.
+        let mut it = db_iter(
+            vec![source(vec![
+                (b"k", 3, ValueType::Value, b"v3"),
+                (b"k", 7, ValueType::Deletion, b""),
+                (b"k", 9, ValueType::Value, b"v9"),
+            ])],
+            5,
+        );
+        it.seek_to_first();
+        assert_eq!(drain(&mut it), vec![(b"k".to_vec(), b"v3".to_vec())]);
+        // Snapshot 8: delete at 7 is visible → key gone.
+        let mut it = db_iter(vec![s], 8);
+        it.seek_to_first();
+        assert!(drain(&mut it).is_empty());
+    }
+
+    #[test]
+    fn seek_lands_on_live_successor() {
+        let s = source(vec![
+            (b"a", 1, ValueType::Value, b"1"),
+            (b"b", 2, ValueType::Deletion, b""),
+            (b"c", 3, ValueType::Value, b"3"),
+        ]);
+        let mut it = db_iter(vec![s], 100);
+        it.seek(b"b");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"c");
+        it.seek(b"a");
+        assert_eq!(it.key(), b"a");
+        it.seek(b"d");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merge_across_sources_prefers_newest() {
+        // Memtable-like source shadows table-like source.
+        let newer = source(vec![(b"k", 9, ValueType::Value, b"mem")]);
+        let older = source(vec![
+            (b"k", 2, ValueType::Value, b"disk"),
+            (b"z", 1, ValueType::Value, b"zz"),
+        ]);
+        let mut it = db_iter(vec![newer, older], 100);
+        it.seek_to_first();
+        assert_eq!(
+            drain(&mut it),
+            vec![
+                (b"k".to_vec(), b"mem".to_vec()),
+                (b"z".to_vec(), b"zz".to_vec())
+            ]
+        );
+    }
+}

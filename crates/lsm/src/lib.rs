@@ -1,0 +1,47 @@
+//! # pcp-lsm
+//!
+//! A LevelDB-class LSM-tree storage engine, built from scratch as the
+//! substrate for the paper's pipelined compaction procedures.
+//!
+//! Architecture (paper Fig. 1(a)):
+//!
+//! * **C0** — [`memtable::Memtable`], an arena-style skiplist with a single
+//!   writer and lock-free readers, fed through a checksummed
+//!   [`wal::WalWriter`].
+//! * **C1..Ck** — SSTables tracked by [`version::Version`] /
+//!   [`version_set::VersionSet`], with level sizes bounded by an
+//!   exponentially growing budget. Structural changes are version edits in
+//!   a MANIFEST log.
+//! * **Background maintenance** — one worker flushes immutable memtables to
+//!   L0 and runs compactions picked round-robin over key ranges. The merge
+//!   itself is delegated to a [`compact::CompactionExec`]: the built-in
+//!   [`compact::SimpleMergeExec`] here, or the paper's SCP/PCP/C-PPCP/
+//!   S-PPCP executors from `pcp-core`.
+//! * **Backpressure** — writers are slowed and then stalled when level 0
+//!   outgrows compaction, reproducing the *write pauses* that tie system
+//!   throughput to compaction bandwidth (the paper's central coupling).
+
+pub mod compact;
+pub mod db;
+pub mod edit;
+pub mod filename;
+pub mod iter;
+pub mod memtable;
+pub mod repair;
+pub mod table_cache;
+pub mod version;
+pub mod version_set;
+pub mod wal;
+
+pub use compact::{
+    CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
+};
+pub use db::{Db, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot, WriteBatch};
+pub use edit::VersionEdit;
+pub use iter::{DbIter, LevelIter};
+pub use memtable::{Memtable, MemtableIter};
+pub use repair::{repair, RepairReport};
+pub use table_cache::TableCache;
+pub use version::{FileMetadata, Version, NUM_LEVELS};
+pub use version_set::{CompactionPick, CompactionPolicy, VersionSet};
+pub use wal::{WalReader, WalWriter};

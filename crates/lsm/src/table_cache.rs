@@ -1,0 +1,124 @@
+//! Cache of open [`TableReader`]s keyed by file number.
+//!
+//! Opening a table reads its footer, index, filter and properties blocks;
+//! caching the decoded reader means the read path pays that once per file.
+//! There is deliberately **no data-block cache** — the paper profiles
+//! compaction with direct I/O, and every block read must hit the device.
+
+use crate::filename::table_file;
+use parking_lot::Mutex;
+use pcp_sstable::{BlockCache, TableError, TableReader};
+use pcp_storage::EnvRef;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared table-reader cache.
+pub struct TableCache {
+    env: EnvRef,
+    opened: Mutex<HashMap<u64, Arc<TableReader>>>,
+    block_cache: Option<Arc<BlockCache>>,
+}
+
+impl TableCache {
+    /// Creates an empty cache over `env` (no block cache).
+    pub fn new(env: EnvRef) -> TableCache {
+        TableCache::with_block_cache(env, None)
+    }
+
+    /// Creates a cache whose table readers share `block_cache`.
+    pub fn with_block_cache(
+        env: EnvRef,
+        block_cache: Option<Arc<BlockCache>>,
+    ) -> TableCache {
+        TableCache {
+            env,
+            opened: Mutex::new(HashMap::new()),
+            block_cache,
+        }
+    }
+
+    /// The shared block cache, if enabled.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
+    }
+
+    /// Returns the (possibly cached) reader for table `number`.
+    pub fn get(&self, number: u64) -> Result<Arc<TableReader>, TableError> {
+        if let Some(r) = self.opened.lock().get(&number) {
+            return Ok(Arc::clone(r));
+        }
+        // Open outside the lock: table opening does real (simulated) I/O.
+        let file = self.env.open(&table_file(number))?;
+        let reader = Arc::new(TableReader::open_with_cache(
+            file,
+            self.block_cache.clone(),
+        )?);
+        let mut cache = self.opened.lock();
+        let entry = cache.entry(number).or_insert_with(|| Arc::clone(&reader));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Drops the cached reader for a deleted file.
+    pub fn evict(&self, number: u64) {
+        self.opened.lock().remove(&number);
+    }
+
+    /// Number of cached readers.
+    pub fn len(&self) -> usize {
+        self.opened.lock().len()
+    }
+
+    /// True if no readers are cached.
+    pub fn is_empty(&self) -> bool {
+        self.opened.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_sstable::key::{make_internal_key, ValueType};
+    use pcp_sstable::{TableBuilder, TableBuilderOptions};
+    use pcp_storage::{SimDevice, SimEnv};
+
+    fn env_with_table(number: u64) -> EnvRef {
+        let env: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(32 << 20))));
+        let f = env.create(&table_file(number)).unwrap();
+        let mut b = TableBuilder::new(f, TableBuilderOptions::default());
+        b.add(
+            &make_internal_key(b"k", 1, ValueType::Value),
+            b"v",
+        )
+        .unwrap();
+        b.finish().unwrap();
+        env
+    }
+
+    #[test]
+    fn caches_and_reuses_readers() {
+        let env = env_with_table(7);
+        let cache = TableCache::new(env);
+        let a = cache.get(7).unwrap();
+        let b = cache.get(7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_forces_reopen() {
+        let env = env_with_table(7);
+        let cache = TableCache::new(env);
+        let a = cache.get(7).unwrap();
+        cache.evict(7);
+        assert!(cache.is_empty());
+        let b = cache.get(7).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let env = env_with_table(7);
+        let cache = TableCache::new(env);
+        assert!(cache.get(99).is_err());
+    }
+}

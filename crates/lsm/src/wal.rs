@@ -1,0 +1,214 @@
+//! Write-ahead log.
+//!
+//! Record format: `[masked crc32c: u32le][len: u32le][payload]`. Replay
+//! stops cleanly at the first torn or corrupt record, which is exactly the
+//! durability contract a crash leaves behind. (LevelDB's 32 KB-block
+//! fragmentation exists to bound resync scans after corruption in the
+//! middle of a long log; with per-record CRCs and tail-truncation-only
+//! crashes, the simpler framing recovers the same committed prefix.)
+
+use pcp_codec::{crc32c, mask_crc, unmask_crc};
+use pcp_storage::{Env, RandomReadFile, WritableFile};
+use std::io;
+use std::sync::Arc;
+
+const HEADER: usize = 8;
+
+/// Appends length-prefixed, checksummed records to a log file.
+pub struct WalWriter {
+    file: Box<dyn WritableFile>,
+}
+
+impl WalWriter {
+    /// Creates a new log at `name`.
+    pub fn create(env: &dyn Env, name: &str) -> io::Result<WalWriter> {
+        Ok(WalWriter {
+            file: env.create(name)?,
+        })
+    }
+
+    /// Appends one record; durable once [`WalWriter::sync`] returns.
+    pub fn add_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let crc = mask_crc(crc32c(payload));
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&crc.to_le_bytes());
+        header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.file.append(&header)?;
+        self.file.append(payload)
+    }
+
+    /// Forces everything appended so far to the device.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.file.len() == 0
+    }
+}
+
+/// Replays a log, yielding the committed record prefix.
+pub struct WalReader {
+    file: Arc<dyn RandomReadFile>,
+    offset: u64,
+    /// Set when replay stopped because of a torn/corrupt record rather than
+    /// clean EOF.
+    corruption_detected: bool,
+}
+
+impl WalReader {
+    /// Opens `name` for replay.
+    pub fn open(env: &dyn Env, name: &str) -> io::Result<WalReader> {
+        Ok(WalReader {
+            file: env.open(name)?,
+            offset: 0,
+            corruption_detected: false,
+        })
+    }
+
+    /// Next committed record, or `None` at end of the valid prefix.
+    pub fn next_record(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.offset + HEADER as u64 > self.file.len() {
+            if self.offset != self.file.len() {
+                self.corruption_detected = true;
+            }
+            return Ok(None);
+        }
+        let header = self.file.read_at(self.offset, HEADER)?;
+        let stored_crc = unmask_crc(u32::from_le_bytes(header[..4].try_into().unwrap()));
+        let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as u64;
+        if self.offset + HEADER as u64 + len > self.file.len() {
+            self.corruption_detected = true; // torn tail
+            return Ok(None);
+        }
+        let payload = self
+            .file
+            .read_at(self.offset + HEADER as u64, len as usize)?;
+        if crc32c(&payload) != stored_crc {
+            self.corruption_detected = true;
+            return Ok(None);
+        }
+        self.offset += HEADER as u64 + len;
+        Ok(Some(payload.to_vec()))
+    }
+
+    /// True when replay ended at a torn or corrupt record.
+    pub fn corruption_detected(&self) -> bool {
+        self.corruption_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_storage::{SimDevice, SimEnv};
+
+    fn env() -> SimEnv {
+        SimEnv::new(Arc::new(SimDevice::mem(16 << 20)))
+    }
+
+    #[test]
+    fn write_then_replay_all_records() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "000001.log").unwrap();
+        let records: Vec<Vec<u8>> = (0..100)
+            .map(|i| format!("record-{i}-{}", "x".repeat(i % 50)).into_bytes())
+            .collect();
+        for r in &records {
+            w.add_record(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let mut r = WalReader::open(&env, "000001.log").unwrap();
+        for want in &records {
+            assert_eq!(r.next_record().unwrap().as_deref(), Some(want.as_slice()));
+        }
+        assert!(r.next_record().unwrap().is_none());
+        assert!(!r.corruption_detected());
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.add_record(b"").unwrap();
+        w.add_record(b"after-empty").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut r = WalReader::open(&env, "l").unwrap();
+        assert_eq!(r.next_record().unwrap(), Some(Vec::new()));
+        assert_eq!(r.next_record().unwrap(), Some(b"after-empty".to_vec()));
+    }
+
+    #[test]
+    fn torn_tail_yields_committed_prefix() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.add_record(b"committed-1").unwrap();
+        w.add_record(b"committed-2").unwrap();
+        w.sync().unwrap();
+        // Simulate a torn append: header promises more bytes than exist.
+        let mut header = [0u8; HEADER];
+        header[4..].copy_from_slice(&1000u32.to_le_bytes());
+        let mut f = {
+            // Re-create by copying the synced prefix, then appending junk.
+            let data = env.open("l").unwrap();
+            let all = data.read_at(0, data.len() as usize).unwrap();
+            let mut f2 = env.create("torn").unwrap();
+            f2.append(&all).unwrap();
+            f2
+        };
+        f.append(&header).unwrap();
+        f.append(b"short").unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let mut r = WalReader::open(&env, "torn").unwrap();
+        assert_eq!(r.next_record().unwrap(), Some(b"committed-1".to_vec()));
+        assert_eq!(r.next_record().unwrap(), Some(b"committed-2".to_vec()));
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.corruption_detected());
+    }
+
+    #[test]
+    fn corrupt_payload_stops_replay() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.add_record(b"good-record").unwrap();
+        w.add_record(b"will-be-corrupted").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Flip one payload byte of the second record.
+        let data = env.open("l").unwrap();
+        let mut all = data.read_at(0, data.len() as usize).unwrap().to_vec();
+        let second_payload_at = HEADER + b"good-record".len() + HEADER;
+        all[second_payload_at] ^= 0xFF;
+        let mut f = env.create("l").unwrap();
+        f.append(&all).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let mut r = WalReader::open(&env, "l").unwrap();
+        assert_eq!(r.next_record().unwrap(), Some(b"good-record".to_vec()));
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.corruption_detected());
+    }
+
+    #[test]
+    fn empty_log_replays_cleanly() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut r = WalReader::open(&env, "l").unwrap();
+        assert!(r.next_record().unwrap().is_none());
+        assert!(!r.corruption_detected());
+    }
+}

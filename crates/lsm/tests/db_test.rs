@@ -1,0 +1,462 @@
+//! End-to-end engine tests over a RAM-backed simulated filesystem.
+
+use pcp_lsm::{CompactionPolicy, Db, Options, WriteBatch};
+use pcp_storage::{EnvRef, SimDevice, SimEnv};
+use std::sync::Arc;
+
+fn ram_env() -> EnvRef {
+    Arc::new(SimEnv::new(Arc::new(SimDevice::mem(2 << 30))))
+}
+
+/// Small limits so flushes and compactions trigger quickly in tests.
+fn small_opts() -> Options {
+    Options {
+        memtable_bytes: 64 << 10,
+        sstable_bytes: 32 << 10,
+        policy: CompactionPolicy {
+            l0_trigger: 4,
+            base_level_bytes: 128 << 10,
+            level_multiplier: 10,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn put_get_roundtrip() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    db.put(b"hello", b"world").unwrap();
+    assert_eq!(db.get(b"hello").unwrap(), Some(b"world".to_vec()));
+    assert_eq!(db.get(b"absent").unwrap(), None);
+}
+
+#[test]
+fn overwrite_returns_newest() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    db.put(b"k", b"v1").unwrap();
+    db.put(b"k", b"v2").unwrap();
+    assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+}
+
+#[test]
+fn delete_hides_key() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.delete(b"k").unwrap();
+    assert_eq!(db.get(b"k").unwrap(), None);
+    // Deleting an absent key is fine.
+    db.delete(b"never-existed").unwrap();
+}
+
+#[test]
+fn batch_is_atomic_in_sequence_space() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    let mut batch = WriteBatch::new();
+    batch.put(b"a", b"1");
+    batch.put(b"b", b"2");
+    batch.delete(b"a");
+    db.write(batch).unwrap();
+    assert_eq!(db.get(b"a").unwrap(), None);
+    assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+}
+
+#[test]
+fn reads_span_memtable_flushes_and_compactions() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    let n = 3000;
+    for i in 0..n {
+        db.put(
+            format!("key{i:06}").as_bytes(),
+            format!("value{i}").as_bytes(),
+        )
+        .unwrap();
+    }
+    db.wait_idle().unwrap();
+    let m = db.metrics();
+    assert!(m.flush_count >= 1, "flushes must have happened");
+    assert!(
+        m.compaction_count + m.trivial_moves >= 1,
+        "compactions must have happened"
+    );
+    for i in (0..n).step_by(97) {
+        let got = db.get(format!("key{i:06}").as_bytes()).unwrap();
+        assert_eq!(got, Some(format!("value{i}").into_bytes()), "key {i}");
+    }
+    // Level invariant: data has left L0.
+    let summary = db.level_summary();
+    let deep_files: usize = summary[1..].iter().map(|(f, _)| *f).sum();
+    assert!(deep_files > 0, "data should have moved to deeper levels");
+}
+
+#[test]
+fn overwrites_survive_compaction() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    for round in 0..5 {
+        for i in 0..500 {
+            db.put(
+                format!("key{i:04}").as_bytes(),
+                format!("round{round}").as_bytes(),
+            )
+            .unwrap();
+        }
+    }
+    db.wait_idle().unwrap();
+    for i in 0..500 {
+        assert_eq!(
+            db.get(format!("key{i:04}").as_bytes()).unwrap(),
+            Some(b"round4".to_vec()),
+            "key {i}"
+        );
+    }
+}
+
+#[test]
+fn deletes_survive_compaction() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    for i in 0..1000 {
+        db.put(format!("key{i:04}").as_bytes(), b"v").unwrap();
+    }
+    for i in (0..1000).step_by(2) {
+        db.delete(format!("key{i:04}").as_bytes()).unwrap();
+    }
+    db.compact_range(None, None).unwrap();
+    for i in 0..1000 {
+        let got = db.get(format!("key{i:04}").as_bytes()).unwrap();
+        if i % 2 == 0 {
+            assert_eq!(got, None, "key {i} must stay deleted");
+        } else {
+            assert_eq!(got, Some(b"v".to_vec()), "key {i} must stay live");
+        }
+    }
+}
+
+#[test]
+fn scan_is_sorted_and_complete() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    let n = 2000;
+    for i in (0..n).rev() {
+        db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    db.wait_idle().unwrap();
+    let mut it = db.iter();
+    it.seek_to_first();
+    let mut count = 0;
+    let mut prev: Option<Vec<u8>> = None;
+    while it.valid() {
+        if let Some(p) = &prev {
+            assert!(p.as_slice() < it.key(), "scan out of order");
+        }
+        prev = Some(it.key().to_vec());
+        count += 1;
+        it.next();
+    }
+    assert_eq!(count, n);
+}
+
+#[test]
+fn scan_seek_and_tombstones() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    for k in ["a", "b", "c", "d"] {
+        db.put(k.as_bytes(), b"v").unwrap();
+    }
+    db.delete(b"b").unwrap();
+    let mut it = db.iter();
+    it.seek(b"a1");
+    assert!(it.valid());
+    assert_eq!(it.key(), b"c", "b is deleted; a1 seeks to c");
+    it.next();
+    assert_eq!(it.key(), b"d");
+    it.next();
+    assert!(!it.valid());
+}
+
+#[test]
+fn snapshot_isolation_for_gets_and_scans() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    db.put(b"k", b"before").unwrap();
+    let snap = db.snapshot();
+    db.put(b"k", b"after").unwrap();
+    db.delete(b"gone").unwrap();
+    db.put(b"new-key", b"x").unwrap();
+
+    assert_eq!(
+        db.get_at(b"k", snap.sequence).unwrap(),
+        Some(b"before".to_vec())
+    );
+    assert_eq!(db.get(b"k").unwrap(), Some(b"after".to_vec()));
+
+    let mut it = db.iter_at(snap.sequence);
+    it.seek_to_first();
+    let mut keys = Vec::new();
+    while it.valid() {
+        keys.push(it.key().to_vec());
+        it.next();
+    }
+    assert_eq!(keys, vec![b"k".to_vec()], "snapshot sees only pre-existing keys");
+}
+
+#[test]
+fn snapshot_pins_old_versions_through_compaction() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    for i in 0..500 {
+        db.put(format!("key{i:04}").as_bytes(), b"old").unwrap();
+    }
+    let snap = db.snapshot();
+    for i in 0..500 {
+        db.put(format!("key{i:04}").as_bytes(), b"new").unwrap();
+    }
+    db.compact_range(None, None).unwrap();
+    assert_eq!(
+        db.get_at(b"key0100", snap.sequence).unwrap(),
+        Some(b"old".to_vec()),
+        "snapshot must still see the old version after compaction"
+    );
+    assert_eq!(db.get(b"key0100").unwrap(), Some(b"new".to_vec()));
+}
+
+#[test]
+fn recovery_from_wal_without_flush() {
+    let env = ram_env();
+    {
+        let db = Db::open(Arc::clone(&env), Options::default()).unwrap();
+        for i in 0..100 {
+            db.put(format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.delete(b"k050").unwrap();
+        // Drop without flushing: data lives only in WAL + memtable.
+    }
+    let db = Db::open(env, Options::default()).unwrap();
+    assert_eq!(db.get(b"k001").unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(db.get(b"k099").unwrap(), Some(b"v99".to_vec()));
+    assert_eq!(db.get(b"k050").unwrap(), None, "tombstone recovered");
+}
+
+#[test]
+fn recovery_after_flushes_and_compactions() {
+    let env = ram_env();
+    {
+        let db = Db::open(Arc::clone(&env), small_opts()).unwrap();
+        for i in 0..2000 {
+            db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.wait_idle().unwrap();
+    }
+    let db = Db::open(env, small_opts()).unwrap();
+    for i in (0..2000).step_by(131) {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap(),
+            Some(format!("v{i}").into_bytes())
+        );
+    }
+}
+
+#[test]
+fn sequence_numbers_monotone_across_recovery() {
+    let env = ram_env();
+    {
+        let db = Db::open(Arc::clone(&env), Options::default()).unwrap();
+        db.put(b"a", b"1").unwrap();
+    }
+    {
+        let db = Db::open(Arc::clone(&env), Options::default()).unwrap();
+        db.put(b"a", b"2").unwrap();
+    }
+    let db = Db::open(env, Options::default()).unwrap();
+    assert_eq!(
+        db.get(b"a").unwrap(),
+        Some(b"2".to_vec()),
+        "later write must win across restarts"
+    );
+}
+
+#[test]
+fn write_stalls_are_recorded_under_pressure() {
+    // Tiny memtable + aggressive load: writers must hit the slowdown or
+    // stall path while the single background thread catches up.
+    let opts = Options {
+        memtable_bytes: 16 << 10,
+        sstable_bytes: 16 << 10,
+        policy: CompactionPolicy {
+            l0_trigger: 2,
+            base_level_bytes: 32 << 10,
+            level_multiplier: 10,
+        },
+        l0_slowdown_files: 2,
+        l0_stop_files: 4,
+        ..Default::default()
+    };
+    let db = Db::open(ram_env(), opts).unwrap();
+    for i in 0..3000 {
+        db.put(format!("key{i:06}").as_bytes(), &[0u8; 100]).unwrap();
+    }
+    db.wait_idle().unwrap();
+    let m = db.metrics();
+    assert!(
+        m.slowdown_events + m.stall_events > 0,
+        "backpressure should have engaged: {m:?}"
+    );
+    // And everything is still readable.
+    assert_eq!(db.get(b"key000000").unwrap(), Some(vec![0u8; 100]));
+    assert_eq!(db.get(b"key002999").unwrap(), Some(vec![0u8; 100]));
+}
+
+#[test]
+fn obsolete_files_are_garbage_collected() {
+    let env = ram_env();
+    let db = Db::open(Arc::clone(&env), small_opts()).unwrap();
+    for i in 0..3000 {
+        db.put(format!("key{i:06}").as_bytes(), &[7u8; 64]).unwrap();
+    }
+    db.wait_idle().unwrap();
+    db.compact_range(None, None).unwrap();
+    // Every .sst in the env must be referenced by the live version.
+    let live: std::collections::HashSet<u64> = db
+        .level_summary()
+        .iter()
+        .enumerate()
+        .flat_map(|_| std::iter::empty()) // placeholder; real check below
+        .collect();
+    drop(live);
+    let names = env.list().unwrap();
+    let sst_count = names.iter().filter(|n| n.ends_with(".sst")).count();
+    let total_files: usize = db.level_summary().iter().map(|(f, _)| f).sum();
+    assert_eq!(
+        sst_count, total_files,
+        "stale tables must be deleted: {names:?}"
+    );
+    let log_count = names.iter().filter(|n| n.ends_with(".log")).count();
+    assert!(log_count <= 2, "old WALs must be deleted: {names:?}");
+}
+
+#[test]
+fn flush_forces_memtable_out() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.flush().unwrap();
+    let summary = db.level_summary();
+    assert!(summary[0].0 >= 1, "flush must create an L0 file");
+    assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+}
+
+#[test]
+fn empty_db_scan_and_get() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    assert_eq!(db.get(b"nothing").unwrap(), None);
+    let mut it = db.iter();
+    it.seek_to_first();
+    assert!(!it.valid());
+    db.flush().unwrap(); // flushing an empty memtable is a no-op
+    db.wait_idle().unwrap();
+}
+
+#[test]
+fn binary_keys_and_values() {
+    let db = Db::open(ram_env(), Options::default()).unwrap();
+    let key = [0u8, 255, 1, 254, 0];
+    let value = vec![0u8; 10_000];
+    db.put(&key, &value).unwrap();
+    db.flush().unwrap();
+    assert_eq!(db.get(&key).unwrap(), Some(value));
+}
+
+#[test]
+fn approximate_size_tracks_ranges() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    for i in 0..4000 {
+        db.put(format!("key{i:06}").as_bytes(), &[1u8; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_idle().unwrap();
+    let all = db.approximate_size(None, None);
+    assert!(all > 30 << 10, "whole-range estimate too small: {all}");
+    let half = db.approximate_size(None, Some(b"key002000"));
+    assert!(half > all / 4 && half < all * 3 / 4, "half-range {half} of {all}");
+    let none = db.approximate_size(Some(b"zzz"), None);
+    assert_eq!(none, 0);
+    let point = db.approximate_size(Some(b"key001000"), Some(b"key001001"));
+    assert!(point < all / 4, "tiny range {point} of {all}");
+}
+
+#[test]
+fn integrity_check_passes_on_healthy_store_and_catches_corruption() {
+    let env = ram_env();
+    let db = Db::open(Arc::clone(&env), small_opts()).unwrap();
+    for i in 0..3000 {
+        db.put(format!("key{i:06}").as_bytes(), &[9u8; 80]).unwrap();
+    }
+    db.flush().unwrap(); // push the memtable tail out so tables hold all keys
+    db.wait_idle().unwrap();
+    let report = db.verify_integrity().unwrap();
+    assert!(report.is_healthy(), "{:?}", report.errors);
+    assert!(report.tables > 0);
+    assert!(report.blocks > 0);
+    assert!(report.entries >= 3000);
+    let ds = db.debug_string();
+    assert!(ds.contains("flushes"), "{ds}");
+
+    // Corrupt one byte in EVERY table: at least one is live, so the
+    // reopened store must notice (stale ones get GC'd on reopen).
+    for victim in env.list().unwrap() {
+        if !victim.ends_with(".sst") {
+            continue;
+        }
+        let f = env.open(&victim).unwrap();
+        let mut contents = f.read_at(0, f.len() as usize).unwrap().to_vec();
+        contents[100] ^= 0xFF;
+        let mut w = env.create(&victim).unwrap();
+        w.append(&contents).unwrap();
+        w.sync().unwrap();
+    }
+    // Evict cached readers so the corrupt bytes are re-read. (Reopening
+    // the Db would also do it; here we check the API directly.)
+    drop(db);
+    let db = Db::open(env, small_opts()).unwrap();
+    let report = db.verify_integrity().unwrap();
+    assert!(
+        !report.is_healthy(),
+        "corruption must be detected: {report:?}"
+    );
+}
+
+#[test]
+fn concurrent_writers_and_readers() {
+    let db = Arc::new(Db::open(ram_env(), small_opts()).unwrap());
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    db.put(
+                        format!("w{w}-key{i:05}").as_bytes(),
+                        format!("w{w}v{i}").as_bytes(),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                let _ = db.get(b"w0-key00042");
+            }
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    reader.join().unwrap();
+    db.wait_idle().unwrap();
+    for w in 0..4 {
+        for i in (0..500).step_by(83) {
+            assert_eq!(
+                db.get(format!("w{w}-key{i:05}").as_bytes()).unwrap(),
+                Some(format!("w{w}v{i}").into_bytes())
+            );
+        }
+    }
+}

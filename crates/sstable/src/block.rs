@@ -1,0 +1,465 @@
+//! Data/index block format with restart-point prefix compression.
+//!
+//! ```text
+//! entry*   := varint(shared) varint(non_shared) varint(value_len)
+//!             key_delta[non_shared] value[value_len]
+//! restarts := u32le * num_restarts     (offsets of full-key entries)
+//! trailer  := u32le num_restarts
+//! ```
+//!
+//! Keys within a block share prefixes with their predecessor except at
+//! *restart points*, where the full key is stored; binary search over the
+//! restart array gives `O(log r + interval)` seeks.
+
+use crate::{Result, TableError};
+use bytes::Bytes;
+use std::cmp::Ordering;
+
+/// Builds one block. Keys must be added in strictly increasing order
+/// (by the caller's comparator — the builder only checks non-decreasing
+/// byte order of full keys at restart boundaries in debug builds).
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    restart_interval: usize,
+    counter: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    /// Creates a builder with the given restart interval (LevelDB uses 16).
+    pub fn new(restart_interval: usize) -> Self {
+        assert!(restart_interval >= 1);
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            restart_interval,
+            counter: 0,
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Appends an entry. `key` must sort after every previously added key.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        let shared = if self.counter < self.restart_interval {
+            common_prefix(&self.last_key, key)
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+            0
+        };
+        let non_shared = key.len() - shared;
+        pcp_codec::put_u32(&mut self.buf, shared as u32);
+        pcp_codec::put_u32(&mut self.buf, non_shared as u32);
+        pcp_codec::put_u32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    /// Serialized size if finished now.
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Key of the most recently added entry.
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Serializes the block and resets the builder for reuse.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        for &r in &self.restarts {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.restarts.clear();
+        self.restarts.push(0);
+        self.counter = 0;
+        self.last_key.clear();
+        self.entries = 0;
+        out
+    }
+}
+
+#[inline]
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// An immutable, decoded block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Bytes,
+    /// Offset where the restart array begins.
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Wraps serialized block contents (uncompressed, trailer-free).
+    pub fn new(data: Bytes) -> Result<Block> {
+        if data.len() < 4 {
+            return Err(TableError::Corruption("block shorter than trailer".into()));
+        }
+        let n = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
+        let restarts_offset = data
+            .len()
+            .checked_sub(4 + n * 4)
+            .ok_or_else(|| TableError::Corruption("restart array overruns block".into()))?;
+        if n == 0 {
+            return Err(TableError::Corruption("block with zero restarts".into()));
+        }
+        Ok(Block {
+            data,
+            restarts_offset,
+            num_restarts: n,
+        })
+    }
+
+    fn restart_point(&self, i: usize) -> usize {
+        let off = self.restarts_offset + i * 4;
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize
+    }
+
+    /// Iterator over the block's entries, ordered by `cmp`.
+    pub fn iter(&self, cmp: fn(&[u8], &[u8]) -> Ordering) -> BlockIter {
+        BlockIter {
+            block: self.clone(),
+            cmp,
+            offset: 0,
+            key: Vec::new(),
+            value_range: (0, 0),
+            valid: false,
+        }
+    }
+
+    /// Serialized length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.restarts_offset == 0
+    }
+}
+
+/// Cursor over a [`Block`].
+pub struct BlockIter {
+    block: Block,
+    cmp: fn(&[u8], &[u8]) -> Ordering,
+    /// Offset of the *next* entry to decode.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    valid: bool,
+}
+
+impl BlockIter {
+    /// True if positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current entry's key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current entry's value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.offset = 0;
+        self.key.clear();
+        self.valid = false;
+        self.parse_next();
+    }
+
+    /// Advances to the next entry; invalidates at the end.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        self.parse_next();
+    }
+
+    /// Positions at the first entry with `key >= target` under the
+    /// iterator's comparator.
+    pub fn seek(&mut self, target: &[u8]) {
+        // Binary search restart points for the last full key < target.
+        let (mut lo, mut hi) = (0usize, self.block.num_restarts - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let key = self.full_key_at_restart(mid);
+            if (self.cmp)(&key, target) == Ordering::Less {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        self.offset = self.block.restart_point(lo);
+        self.key.clear();
+        self.valid = false;
+        loop {
+            self.parse_next();
+            if !self.valid || (self.cmp)(&self.key, target) != Ordering::Less {
+                return;
+            }
+        }
+    }
+
+    fn full_key_at_restart(&self, i: usize) -> Vec<u8> {
+        let mut off = self.block.restart_point(i);
+        let data = &self.block.data[..self.block.restarts_offset];
+        // shared is 0 at a restart point by construction.
+        let (shared, n1) = pcp_codec::decode_u32(&data[off..]).expect("restart entry");
+        debug_assert_eq!(shared, 0);
+        off += n1;
+        let (non_shared, n2) = pcp_codec::decode_u32(&data[off..]).expect("restart entry");
+        off += n2;
+        let (_vlen, n3) = pcp_codec::decode_u32(&data[off..]).expect("restart entry");
+        off += n3;
+        data[off..off + non_shared as usize].to_vec()
+    }
+
+    fn parse_next(&mut self) {
+        let data = &self.block.data[..self.block.restarts_offset];
+        if self.offset >= data.len() {
+            self.valid = false;
+            return;
+        }
+        let mut off = self.offset;
+        let (shared, n1) = match pcp_codec::decode_u32(&data[off..]) {
+            Ok(v) => v,
+            Err(_) => {
+                self.valid = false;
+                return;
+            }
+        };
+        off += n1;
+        let (non_shared, n2) = match pcp_codec::decode_u32(&data[off..]) {
+            Ok(v) => v,
+            Err(_) => {
+                self.valid = false;
+                return;
+            }
+        };
+        off += n2;
+        let (vlen, n3) = match pcp_codec::decode_u32(&data[off..]) {
+            Ok(v) => v,
+            Err(_) => {
+                self.valid = false;
+                return;
+            }
+        };
+        off += n3;
+        let (shared, non_shared, vlen) = (shared as usize, non_shared as usize, vlen as usize);
+        if shared > self.key.len() || off + non_shared + vlen > data.len() {
+            self.valid = false;
+            return;
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&data[off..off + non_shared]);
+        off += non_shared;
+        self.value_range = (off, off + vlen);
+        self.offset = off + vlen;
+        self.valid = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(entries: &[(&[u8], &[u8])]) -> Block {
+        let mut b = BlockBuilder::new(4);
+        for (k, v) in entries {
+            b.add(k, v);
+        }
+        Block::new(Bytes::from(b.finish())).unwrap()
+    }
+
+    fn collect(block: &Block) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut it = block.iter(Ord::cmp);
+        let mut out = Vec::new();
+        it.seek_to_first();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_content() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
+            .map(|i| {
+                (
+                    format!("key{:04}", i).into_bytes(),
+                    format!("value{i}").into_bytes(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let block = build(&refs);
+        assert_eq!(collect(&block), entries);
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_shared_keys() {
+        let long_prefix = b"a-very-long-shared-prefix-";
+        let mut with_prefix = BlockBuilder::new(16);
+        let mut sizes = 0;
+        for i in 0..64 {
+            let k = [&long_prefix[..], format!("{i:04}").as_bytes()].concat();
+            sizes += k.len() + 5;
+            with_prefix.add(&k, b"v");
+        }
+        let encoded = with_prefix.finish();
+        assert!(
+            encoded.len() < sizes * 2 / 3,
+            "prefix compression should save >1/3: {} vs {}",
+            encoded.len(),
+            sizes
+        );
+    }
+
+    #[test]
+    fn seek_finds_exact_and_successor() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
+            .map(|i| (format!("k{:03}", i * 2).into_bytes(), vec![i as u8]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let block = build(&refs);
+        let mut it = block.iter(Ord::cmp);
+
+        it.seek(b"k010");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"k010");
+
+        it.seek(b"k011"); // between k010 and k012
+        assert!(it.valid());
+        assert_eq!(it.key(), b"k012");
+
+        it.seek(b"k000");
+        assert_eq!(it.key(), b"k000");
+
+        it.seek(b"zzz");
+        assert!(!it.valid(), "seek past end invalidates");
+    }
+
+    #[test]
+    fn seek_to_first_on_single_entry() {
+        let block = build(&[(b"only".as_slice(), b"one".as_slice())]);
+        let mut it = block.iter(Ord::cmp);
+        it.seek_to_first();
+        assert!(it.valid());
+        assert_eq!(it.key(), b"only");
+        assert_eq!(it.value(), b"one");
+        it.next();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn restart_interval_one_disables_sharing() {
+        let mut b = BlockBuilder::new(1);
+        b.add(b"aaaa1", b"v");
+        b.add(b"aaaa2", b"v");
+        let block = Block::new(Bytes::from(b.finish())).unwrap();
+        assert_eq!(block.num_restarts, 2);
+        let mut it = block.iter(Ord::cmp);
+        it.seek(b"aaaa2");
+        assert_eq!(it.key(), b"aaaa2");
+    }
+
+    #[test]
+    fn empty_values_roundtrip() {
+        let block = build(&[(b"a".as_slice(), b"".as_slice()), (b"b", b"")]);
+        let got = collect(&block);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(_, v)| v.is_empty()));
+    }
+
+    #[test]
+    fn corrupt_trailer_is_rejected() {
+        assert!(Block::new(Bytes::from_static(&[0, 0])).is_err());
+        // num_restarts too large for the data.
+        assert!(Block::new(Bytes::from_static(&[0xFF, 0xFF, 0xFF, 0x7F])).is_err());
+        // zero restarts.
+        assert!(Block::new(Bytes::from_static(&[0, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn size_estimate_tracks_finish() {
+        let mut b = BlockBuilder::new(8);
+        for i in 0..20 {
+            b.add(format!("key{i:02}").as_bytes(), b"value");
+        }
+        let est = b.size_estimate();
+        let actual = b.finish().len();
+        assert_eq!(est, actual);
+    }
+
+    #[test]
+    fn builder_reuse_after_finish() {
+        let mut b = BlockBuilder::new(4);
+        b.add(b"x", b"1");
+        let first = b.finish();
+        assert!(b.is_empty());
+        b.add(b"y", b"2");
+        let second = b.finish();
+        let b1 = Block::new(Bytes::from(first)).unwrap();
+        let b2 = Block::new(Bytes::from(second)).unwrap();
+        assert_eq!(collect(&b1), vec![(b"x".to_vec(), b"1".to_vec())]);
+        assert_eq!(collect(&b2), vec![(b"y".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn seek_with_internal_key_comparator() {
+        use crate::key::{internal_key_cmp, make_internal_key, ValueType};
+        let mut b = BlockBuilder::new(4);
+        // Same user key, sequences 9,5,2 (descending order = sorted order).
+        for seq in [9u64, 5, 2] {
+            b.add(&make_internal_key(b"k", seq, ValueType::Value), b"v");
+        }
+        let block = Block::new(Bytes::from(b.finish())).unwrap();
+        let mut it = block.iter(internal_key_cmp);
+        // Seek to snapshot 6: should land on seq 5 (first with seq <= 6).
+        it.seek(&make_internal_key(b"k", 6, ValueType::Value));
+        assert!(it.valid());
+        let p = crate::key::parse_internal_key(it.key()).unwrap();
+        assert_eq!(p.sequence, 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Decoded-block LRU cache for the read path.
+//!
+//! The paper profiles compaction with direct I/O — the compaction
+//! executors therefore bypass this cache entirely (they read raw spans).
+//! Point reads and scans, however, benefit from caching decoded blocks
+//! exactly like LevelDB's block cache; it is off by default and enabled
+//! via `Options::block_cache_bytes`.
+//!
+//! Eviction is lazy LRU: a use-tick per entry plus a FIFO of (key, tick)
+//! observations; eviction pops observations and drops entries whose tick
+//! is stale (classic amortized-O(1) approximation, no intrusive lists).
+
+use crate::block::Block;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Key: (table cache-id, block offset).
+type Key = (u64, u64);
+
+struct Entry {
+    block: Block,
+    charge: usize,
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<Key, Entry>,
+    /// (key, tick-at-push) observations, oldest first.
+    queue: VecDeque<(Key, u64)>,
+    used: usize,
+}
+
+/// A shared, thread-safe decoded-block cache with a byte budget.
+pub struct BlockCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    next_tick: AtomicU64,
+    next_id: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used_bytes())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache bounded to ≈`capacity_bytes` of decoded block data.
+    pub fn new(capacity_bytes: usize) -> Arc<BlockCache> {
+        Arc::new(BlockCache {
+            capacity: capacity_bytes,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                used: 0,
+            }),
+            next_tick: AtomicU64::new(1),
+            next_id: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Allocates a unique namespace id for one table reader.
+    pub fn new_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Relaxed)
+    }
+
+    /// Looks up the decoded block at (`id`, `offset`).
+    pub fn get(&self, id: u64, offset: u64) -> Option<Block> {
+        let tick = self.next_tick.fetch_add(1, Relaxed);
+        let mut inner = self.inner.lock();
+        match inner.map.get_mut(&(id, offset)) {
+            Some(e) => {
+                e.tick = tick;
+                let block = e.block.clone();
+                inner.queue.push_back(((id, offset), tick));
+                self.hits.fetch_add(1, Relaxed);
+                Some(block)
+            }
+            None => {
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded block, evicting least-recently-used entries to
+    /// stay within budget.
+    pub fn insert(&self, id: u64, offset: u64, block: Block) {
+        let charge = block.len();
+        if charge > self.capacity {
+            return; // larger than the whole cache: never cache
+        }
+        let tick = self.next_tick.fetch_add(1, Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.map.insert(
+            (id, offset),
+            Entry {
+                block,
+                charge,
+                tick,
+            },
+        ) {
+            inner.used -= old.charge;
+        }
+        inner.used += charge;
+        inner.queue.push_back(((id, offset), tick));
+        // Evict: pop observations; drop entries whose latest tick matches
+        // (i.e. not touched since this observation).
+        while inner.used > self.capacity {
+            let Some((key, obs_tick)) = inner.queue.pop_front() else {
+                break;
+            };
+            let stale = inner
+                .map
+                .get(&key)
+                .is_some_and(|e| e.tick == obs_tick);
+            if stale {
+                if let Some(e) = inner.map.remove(&key) {
+                    inner.used -= e.charge;
+                }
+            }
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+    use bytes::Bytes;
+
+    fn block(tag: u8, bytes: usize) -> Block {
+        let mut b = BlockBuilder::new(16);
+        let value = vec![tag; bytes];
+        b.add(&[tag, 0, 0, 0, 0, 0, 0, 0, 1], &value);
+        Block::new(Bytes::from(b.finish())).unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = BlockCache::new(1 << 20);
+        let id = c.new_id();
+        assert!(c.get(id, 0).is_none());
+        c.insert(id, 0, block(1, 100));
+        assert!(c.get(id, 0).is_some());
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let c = BlockCache::new(1 << 20);
+        let a = c.new_id();
+        let b = c.new_id();
+        c.insert(a, 0, block(1, 100));
+        assert!(c.get(b, 0).is_none());
+        assert!(c.get(a, 0).is_some());
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_recency() {
+        let c = BlockCache::new(3000);
+        let id = c.new_id();
+        for i in 0..4u64 {
+            c.insert(id, i, block(i as u8, 900));
+        }
+        assert!(c.used_bytes() <= 3000);
+        // The most recent insert must survive.
+        assert!(c.get(id, 3).is_some());
+    }
+
+    #[test]
+    fn touched_entries_survive_eviction() {
+        let c = BlockCache::new(3000);
+        let id = c.new_id();
+        c.insert(id, 0, block(0, 900));
+        c.insert(id, 1, block(1, 900));
+        c.insert(id, 2, block(2, 900));
+        // Touch 0 so it is newer than 1.
+        assert!(c.get(id, 0).is_some());
+        c.insert(id, 3, block(3, 900)); // forces eviction
+        assert!(c.used_bytes() <= 3000);
+        assert!(c.get(id, 0).is_some(), "recently used entry evicted");
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let c = BlockCache::new(100);
+        let id = c.new_id();
+        c.insert(id, 0, block(1, 900));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Key-value cursors and the merging iterator.
+//!
+//! [`MergingIter`] is the heart of compaction step S4 (SORT/MERGE): it
+//! yields the union of its children's entries in comparator order. It is
+//! also the scan path's way of unifying memtable + L0 tables + leveled
+//! tables into one sorted stream.
+
+use std::cmp::Ordering;
+
+/// A positional cursor over sorted key-value entries.
+///
+/// The iteration protocol matches LevelDB: position with `seek*`, test
+/// `valid`, read `key`/`value`, advance with `next`.
+pub trait KvIter: Send {
+    /// True if positioned on an entry.
+    fn valid(&self) -> bool;
+    /// Positions at the first entry.
+    fn seek_to_first(&mut self);
+    /// Positions at the first entry whose key is `>= target`.
+    fn seek(&mut self, target: &[u8]);
+    /// Advances one entry. Requires `valid()`.
+    fn next(&mut self);
+    /// Current key. Requires `valid()`.
+    fn key(&self) -> &[u8];
+    /// Current value. Requires `valid()`.
+    fn value(&self) -> &[u8];
+}
+
+/// An iterator over an owned, already-sorted entry vector.
+///
+/// Used for memtable snapshots in tests and as a building block in
+/// benchmarks. The entries must already be sorted under the comparator
+/// passed at construction.
+pub struct VecIter {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    cmp: fn(&[u8], &[u8]) -> Ordering,
+    pos: usize,
+}
+
+impl VecIter {
+    /// Wraps `entries`, which must be sorted by `cmp`.
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>, cmp: fn(&[u8], &[u8]) -> Ordering) -> Self {
+        debug_assert!(entries.windows(2).all(|w| cmp(&w[0].0, &w[1].0) == Ordering::Less));
+        let pos = entries.len();
+        VecIter { entries, cmp, pos }
+    }
+}
+
+impl KvIter for VecIter {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.pos = self
+            .entries
+            .partition_point(|(k, _)| (self.cmp)(k, target) == Ordering::Less);
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.pos += 1;
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+/// Merges N sorted children into one sorted stream.
+///
+/// Ties go to the child with the lowest index, so callers should order
+/// children newest-first when duplicate keys are possible (internal keys
+/// never tie, since sequence numbers are unique).
+///
+/// Child counts in this system are small (a handful of tables per
+/// compaction, ≤ ~12 sources per scan), so the smallest-child search is a
+/// linear scan — measurably faster than a binary heap at these widths and
+/// free of per-advance allocation.
+pub struct MergingIter {
+    children: Vec<Box<dyn KvIter>>,
+    cmp: fn(&[u8], &[u8]) -> Ordering,
+    current: Option<usize>,
+}
+
+impl MergingIter {
+    /// Builds a merging iterator over `children`.
+    pub fn new(children: Vec<Box<dyn KvIter>>, cmp: fn(&[u8], &[u8]) -> Ordering) -> Self {
+        MergingIter {
+            children,
+            cmp,
+            current: None,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if (self.cmp)(child.key(), self.children[b].key()) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        self.current = best;
+    }
+}
+
+impl KvIter for MergingIter {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) {
+        for c in &mut self.children {
+            c.seek_to_first();
+        }
+        self.find_smallest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for c in &mut self.children {
+            c.seek(target);
+        }
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        let cur = self.current.expect("next on invalid iterator");
+        self.children[cur].next();
+        self.find_smallest();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("key on invalid iterator")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("value on invalid iterator")].value()
+    }
+}
+
+/// Drains `it` from its current position into a vector (test helper and
+/// small-scan convenience).
+pub fn collect_remaining(it: &mut dyn KvIter) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut out = Vec::new();
+    while it.valid() {
+        out.push((it.key().to_vec(), it.value().to_vec()));
+        it.next();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(&str, &str)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn vec_iter_seek_semantics() {
+        let mut it = VecIter::new(entries(&[("b", "1"), ("d", "2"), ("f", "3")]), Ord::cmp);
+        it.seek(b"c");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"d");
+        it.seek(b"d");
+        assert_eq!(it.key(), b"d");
+        it.seek(b"g");
+        assert!(!it.valid());
+        it.seek_to_first();
+        assert_eq!(it.key(), b"b");
+    }
+
+    #[test]
+    fn merge_two_interleaved_streams() {
+        let a = VecIter::new(entries(&[("a", "1"), ("c", "3"), ("e", "5")]), Ord::cmp);
+        let b = VecIter::new(entries(&[("b", "2"), ("d", "4"), ("f", "6")]), Ord::cmp);
+        let mut m = MergingIter::new(vec![Box::new(a), Box::new(b)], Ord::cmp);
+        m.seek_to_first();
+        let got = collect_remaining(&mut m);
+        let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c", b"d", b"e", b"f"]);
+    }
+
+    #[test]
+    fn merge_ties_prefer_lowest_index() {
+        let newer = VecIter::new(entries(&[("k", "new")]), Ord::cmp);
+        let older = VecIter::new(entries(&[("k", "old")]), Ord::cmp);
+        let mut m = MergingIter::new(vec![Box::new(newer), Box::new(older)], Ord::cmp);
+        m.seek_to_first();
+        assert_eq!(m.value(), b"new");
+        m.next();
+        // The duplicate from the older child still appears.
+        assert!(m.valid());
+        assert_eq!(m.value(), b"old");
+    }
+
+    #[test]
+    fn merge_seek_positions_all_children() {
+        let a = VecIter::new(entries(&[("a", "1"), ("z", "9")]), Ord::cmp);
+        let b = VecIter::new(entries(&[("m", "5")]), Ord::cmp);
+        let mut m = MergingIter::new(vec![Box::new(a), Box::new(b)], Ord::cmp);
+        m.seek(b"b");
+        assert_eq!(m.key(), b"m");
+        m.next();
+        assert_eq!(m.key(), b"z");
+        m.next();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_with_empty_children() {
+        let a = VecIter::new(Vec::new(), Ord::cmp);
+        let b = VecIter::new(entries(&[("x", "1")]), Ord::cmp);
+        let c = VecIter::new(Vec::new(), Ord::cmp);
+        let mut m = MergingIter::new(
+            vec![Box::new(a), Box::new(b), Box::new(c)],
+            Ord::cmp,
+        );
+        m.seek_to_first();
+        assert_eq!(collect_remaining(&mut m).len(), 1);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_invalid() {
+        let mut m = MergingIter::new(Vec::new(), Ord::cmp);
+        m.seek_to_first();
+        assert!(!m.valid());
+        m.seek(b"anything");
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_many_children_order() {
+        // 8 children with strided keys; result must be globally sorted.
+        let mut children: Vec<Box<dyn KvIter>> = Vec::new();
+        for c in 0..8 {
+            let ents: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
+                .map(|i| {
+                    (
+                        format!("{:05}", i * 8 + c).into_bytes(),
+                        vec![c as u8],
+                    )
+                })
+                .collect();
+            children.push(Box::new(VecIter::new(ents, Ord::cmp)));
+        }
+        let mut m = MergingIter::new(children, Ord::cmp);
+        m.seek_to_first();
+        let got = collect_remaining(&mut m);
+        assert_eq!(got.len(), 400);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

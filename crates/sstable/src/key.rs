@@ -1,0 +1,195 @@
+//! Internal keys.
+//!
+//! An *internal key* is `user_key ++ trailer`, where the 8-byte
+//! little-endian trailer packs `(sequence << 8) | value_type`. Entries are
+//! ordered by user key ascending, then sequence descending, then type
+//! descending — so the newest version of a key sorts first, and a range scan
+//! positioned at `(key, MAX_SEQUENCE)` finds the newest visible version.
+
+use std::cmp::Ordering;
+
+/// Monotone operation sequence number (56 bits usable).
+pub type SequenceNumber = u64;
+
+/// Largest encodable sequence number.
+pub const MAX_SEQUENCE: SequenceNumber = (1 << 56) - 1;
+
+/// What an entry represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// A tombstone: the key was deleted at this sequence.
+    Deletion = 0,
+    /// A live value.
+    Value = 1,
+}
+
+impl ValueType {
+    /// Decodes from the trailer tag byte.
+    pub fn from_u8(v: u8) -> Option<ValueType> {
+        match v {
+            0 => Some(ValueType::Deletion),
+            1 => Some(ValueType::Value),
+            _ => None,
+        }
+    }
+}
+
+/// An owned internal key.
+pub type InternalKey = Vec<u8>;
+
+/// Borrowed decomposition of an internal key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedKey<'a> {
+    pub user_key: &'a [u8],
+    pub sequence: SequenceNumber,
+    pub value_type: ValueType,
+}
+
+/// Appends `user_key ++ trailer(sequence, value_type)` to `out`.
+pub fn append_internal_key(
+    out: &mut Vec<u8>,
+    user_key: &[u8],
+    sequence: SequenceNumber,
+    value_type: ValueType,
+) {
+    debug_assert!(sequence <= MAX_SEQUENCE);
+    out.extend_from_slice(user_key);
+    let packed = (sequence << 8) | value_type as u64;
+    out.extend_from_slice(&packed.to_le_bytes());
+}
+
+/// Builds a fresh internal key.
+pub fn make_internal_key(
+    user_key: &[u8],
+    sequence: SequenceNumber,
+    value_type: ValueType,
+) -> InternalKey {
+    let mut out = Vec::with_capacity(user_key.len() + 8);
+    append_internal_key(&mut out, user_key, sequence, value_type);
+    out
+}
+
+/// Splits an internal key into its parts. Returns `None` if malformed.
+pub fn parse_internal_key(ikey: &[u8]) -> Option<ParsedKey<'_>> {
+    if ikey.len() < 8 {
+        return None;
+    }
+    let (user_key, trailer) = ikey.split_at(ikey.len() - 8);
+    let packed = u64::from_le_bytes(trailer.try_into().ok()?);
+    let value_type = ValueType::from_u8((packed & 0xFF) as u8)?;
+    Some(ParsedKey {
+        user_key,
+        sequence: packed >> 8,
+        value_type,
+    })
+}
+
+/// Extracts the user key portion without validating the trailer.
+#[inline]
+pub fn user_key(ikey: &[u8]) -> &[u8] {
+    debug_assert!(ikey.len() >= 8, "internal key too short");
+    &ikey[..ikey.len() - 8]
+}
+
+/// Total order on internal keys: user key ascending, then packed trailer
+/// (sequence, type) *descending* — newer versions first.
+pub fn internal_key_cmp(a: &[u8], b: &[u8]) -> Ordering {
+    debug_assert!(a.len() >= 8 && b.len() >= 8, "internal keys required");
+    let (au, at) = a.split_at(a.len() - 8);
+    let (bu, bt) = b.split_at(b.len() - 8);
+    match au.cmp(bu) {
+        Ordering::Equal => {
+            let ap = u64::from_le_bytes(at.try_into().unwrap());
+            let bp = u64::from_le_bytes(bt.try_into().unwrap());
+            bp.cmp(&ap) // descending
+        }
+        other => other,
+    }
+}
+
+/// The largest possible internal key for `user_key`: sorts before every
+/// real entry for that user key (used as a seek target for "newest
+/// version visible at snapshot `seq`").
+pub fn lookup_key(user_key: &[u8], sequence: SequenceNumber) -> InternalKey {
+    make_internal_key(user_key, sequence, ValueType::Value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_parse() {
+        let ik = make_internal_key(b"apple", 42, ValueType::Value);
+        let p = parse_internal_key(&ik).unwrap();
+        assert_eq!(p.user_key, b"apple");
+        assert_eq!(p.sequence, 42);
+        assert_eq!(p.value_type, ValueType::Value);
+        assert_eq!(user_key(&ik), b"apple");
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let ik = make_internal_key(b"", MAX_SEQUENCE, ValueType::Deletion);
+        let p = parse_internal_key(&ik).unwrap();
+        assert_eq!(p.user_key, b"");
+        assert_eq!(p.sequence, MAX_SEQUENCE);
+        assert_eq!(p.value_type, ValueType::Deletion);
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        assert!(parse_internal_key(b"short").is_none());
+        let mut bad = make_internal_key(b"k", 1, ValueType::Value);
+        let n = bad.len();
+        bad[n - 8] = 99; // invalid type tag
+        assert!(parse_internal_key(&bad).is_none());
+    }
+
+    #[test]
+    fn ordering_user_key_ascending() {
+        let a = make_internal_key(b"a", 5, ValueType::Value);
+        let b = make_internal_key(b"b", 1, ValueType::Value);
+        assert_eq!(internal_key_cmp(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn ordering_sequence_descending_within_user_key() {
+        let newer = make_internal_key(b"k", 10, ValueType::Value);
+        let older = make_internal_key(b"k", 3, ValueType::Value);
+        assert_eq!(internal_key_cmp(&newer, &older), Ordering::Less);
+    }
+
+    #[test]
+    fn deletion_sorts_after_value_at_same_sequence() {
+        // Packed trailer: type is the low byte; higher packed value sorts
+        // first (descending), so Value(1) precedes Deletion(0).
+        let v = make_internal_key(b"k", 7, ValueType::Value);
+        let d = make_internal_key(b"k", 7, ValueType::Deletion);
+        assert_eq!(internal_key_cmp(&v, &d), Ordering::Less);
+    }
+
+    #[test]
+    fn lookup_key_sorts_before_all_versions_at_or_below_snapshot() {
+        let lk = lookup_key(b"k", 10);
+        for seq in 0..=10 {
+            for t in [ValueType::Value, ValueType::Deletion] {
+                let entry = make_internal_key(b"k", seq, t);
+                assert_ne!(
+                    internal_key_cmp(&lk, &entry),
+                    Ordering::Greater,
+                    "lookup(10) must not sort after seq {seq}"
+                );
+            }
+        }
+        let newer = make_internal_key(b"k", 11, ValueType::Value);
+        assert_eq!(internal_key_cmp(&lk, &newer), Ordering::Greater);
+    }
+
+    #[test]
+    fn user_keys_with_embedded_zeros_order_correctly() {
+        let a = make_internal_key(b"a\x00b", 1, ValueType::Value);
+        let b = make_internal_key(b"a\x00c", 1, ValueType::Value);
+        assert_eq!(internal_key_cmp(&a, &b), Ordering::Less);
+    }
+}

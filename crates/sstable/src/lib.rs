@@ -1,0 +1,71 @@
+//! # pcp-sstable
+//!
+//! The on-disk table format of the LSM-tree, following the layout in the
+//! paper's Fig. 1(b): a sequence of data blocks holding sorted key-value
+//! pairs, plus an index block recording the start key, end key and offset of
+//! every data block, a bloom-filter block, and a fixed-size footer.
+//!
+//! Every data block is individually compressed ([`pcp_codec::lz`]) and
+//! carries a masked CRC-32C trailer — these are the objects that flow
+//! through the seven compaction steps (S1 read block, S2 verify CRC, S3
+//! decompress, S4 merge, S5 compress, S6 re-CRC, S7 write block).
+//!
+//! Modules:
+//!
+//! * [`key`] — internal keys: user key + (sequence, type) trailer, ordered
+//!   user-key-ascending then sequence-descending.
+//! * [`block`] — block builder/reader with restart-point prefix compression.
+//! * [`bloom`] — per-table bloom filter.
+//! * [`table`] — [`TableBuilder`] / [`TableReader`] with both entry-level
+//!   APIs (flush path) and raw-block APIs (compaction pipeline path).
+//! * [`iter`] — the [`KvIter`] trait and the merging iterator used by
+//!   compaction step S4 and by scans.
+
+pub mod block;
+pub mod bloom;
+pub mod cache;
+pub mod iter;
+pub mod key;
+pub mod table;
+
+pub use block::{Block, BlockBuilder, BlockIter};
+pub use bloom::BloomFilter;
+pub use cache::BlockCache;
+pub use iter::{KvIter, MergingIter, VecIter};
+pub use key::{
+    append_internal_key, internal_key_cmp, parse_internal_key, InternalKey, ParsedKey,
+    SequenceNumber, ValueType, MAX_SEQUENCE,
+};
+pub use table::{
+    BlockHandle, CompressionKind, TableBuilder, TableBuilderOptions, TableIter,
+    TableReader, TableStats,
+};
+
+/// Errors from decoding table structures.
+#[derive(Debug)]
+pub enum TableError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// A block failed its CRC check (step S2 would reject it).
+    Corruption(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Io(e) => write!(f, "io error: {e}"),
+            TableError::Corruption(m) => write!(f, "corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+/// Result alias for table operations.
+pub type Result<T> = std::result::Result<T, TableError>;

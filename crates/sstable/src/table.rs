@@ -1,0 +1,1032 @@
+//! SSTable builder and reader.
+//!
+//! On-disk layout (paper Fig. 1(b), LevelDB-style):
+//!
+//! ```text
+//! [data block 0][trailer] … [data block n-1][trailer]
+//! [bloom-filter block][trailer]
+//! [index block][trailer]
+//! [properties block][trailer]
+//! [footer: filter/index/props handles + padding + magic]
+//! ```
+//!
+//! Each block trailer is `[compression kind: u8][masked crc32c: u32le]`
+//! over the (possibly compressed) payload plus kind byte. Those five bytes
+//! are what compaction steps S2 (verify) and S6 (re-checksum) work on.
+//!
+//! The *index block* maps each data block's **last** internal key to a
+//! value of `BlockHandle ++ first_key ++ entry_count` — exactly the "start
+//! key, end key and offset of each data block" the paper describes, which
+//! is also what the compaction sub-task planner consumes.
+//!
+//! Two build paths:
+//! * [`TableBuilder::add`] — entry-at-a-time (memtable flush, baselines).
+//! * [`TableBuilder::add_sealed_block`] — whole pre-compressed blocks with
+//!   their trailers, produced by the pipeline's compute stage; the write
+//!   stage just appends bytes (step S7 is pure I/O).
+
+use crate::block::{Block, BlockBuilder, BlockIter};
+use crate::bloom::BloomFilter;
+use crate::cache::BlockCache;
+use crate::iter::KvIter;
+use crate::key::{internal_key_cmp, user_key};
+use crate::{Result, TableError};
+use bytes::Bytes;
+use pcp_codec::{lz, mask_crc, unmask_crc};
+use pcp_storage::{RandomReadFile, WritableFile};
+use std::sync::Arc;
+
+/// Bytes appended after every block payload: kind byte + masked CRC.
+pub const BLOCK_TRAILER_SIZE: usize = 5;
+
+/// Fixed footer size: three varint handles (≤ 60 bytes) padded, + magic.
+pub const FOOTER_SIZE: usize = 68;
+
+const TABLE_MAGIC: u64 = 0x7063_7074_626c_3134; // "pcptbl14"
+
+/// How a block payload is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionKind {
+    /// Stored verbatim.
+    None = 0,
+    /// [`pcp_codec::lz`] compressed.
+    Lz = 1,
+}
+
+impl CompressionKind {
+    /// Decodes the trailer kind byte.
+    pub fn from_u8(v: u8) -> Option<CompressionKind> {
+        match v {
+            0 => Some(CompressionKind::None),
+            1 => Some(CompressionKind::Lz),
+            _ => None,
+        }
+    }
+}
+
+/// Location of a block within the table file (size excludes the trailer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    pub offset: u64,
+    pub size: u64,
+}
+
+impl BlockHandle {
+    /// Appends the varint encoding to `out`.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        pcp_codec::put_u64(out, self.offset);
+        pcp_codec::put_u64(out, self.size);
+    }
+
+    /// Decodes a handle, returning it and the bytes consumed.
+    pub fn decode(input: &[u8]) -> Result<(BlockHandle, usize)> {
+        let (offset, n1) = pcp_codec::decode_u64(input)
+            .map_err(|e| TableError::Corruption(format!("bad handle: {e}")))?;
+        let (size, n2) = pcp_codec::decode_u64(&input[n1..])
+            .map_err(|e| TableError::Corruption(format!("bad handle: {e}")))?;
+        Ok((BlockHandle { offset, size }, n1 + n2))
+    }
+}
+
+/// Per-data-block metadata decoded from the index block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    pub handle: BlockHandle,
+    /// First internal key in the block.
+    pub first_key: Vec<u8>,
+    /// Last internal key in the block (the index key itself).
+    pub last_key: Vec<u8>,
+    /// Number of entries in the block.
+    pub entries: u64,
+}
+
+impl BlockMeta {
+    /// On-disk size of payload + trailer.
+    pub fn stored_size(&self) -> u64 {
+        self.handle.size + BLOCK_TRAILER_SIZE as u64
+    }
+}
+
+/// Table construction knobs (paper defaults: 4 KB blocks, snappy-class
+/// compression).
+#[derive(Debug, Clone)]
+pub struct TableBuilderOptions {
+    /// Uncompressed data-block size threshold.
+    pub block_size: usize,
+    /// Restart interval for data blocks.
+    pub restart_interval: usize,
+    /// Payload compression.
+    pub compression: CompressionKind,
+    /// Bloom bits per key; 0 disables the filter.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for TableBuilderOptions {
+    fn default() -> Self {
+        TableBuilderOptions {
+            block_size: 4096,
+            restart_interval: 16,
+            compression: CompressionKind::Lz,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Summary written into the properties block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Total entries across data blocks.
+    pub entries: u64,
+    /// Number of data blocks.
+    pub data_blocks: u64,
+    /// Uncompressed data bytes.
+    pub raw_bytes: u64,
+    /// Final file size (available after `finish`).
+    pub file_size: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Block sealing helpers: the individual compaction steps S5/S6 (build side)
+// and S2/S3 (read side), exposed as free functions so the pipeline can
+// execute — and time — them separately.
+// ---------------------------------------------------------------------------
+
+/// Step S5 (COMPRESS): encodes block contents per `kind`. Falls back to
+/// `None` when compression does not shrink the payload (LevelDB behaviour).
+pub fn compress_block(contents: &[u8], kind: CompressionKind) -> (Vec<u8>, CompressionKind) {
+    match kind {
+        CompressionKind::None => (contents.to_vec(), CompressionKind::None),
+        CompressionKind::Lz => {
+            let mut out = Vec::new();
+            lz::compress(contents, &mut out);
+            if out.len() < contents.len() {
+                (out, CompressionKind::Lz)
+            } else {
+                (contents.to_vec(), CompressionKind::None)
+            }
+        }
+    }
+}
+
+/// Step S6 (RE-CHECKSUM): builds the 5-byte trailer for a sealed payload.
+pub fn make_trailer(payload: &[u8], kind: CompressionKind) -> [u8; BLOCK_TRAILER_SIZE] {
+    let mut crc = pcp_codec::Crc32c::new();
+    crc.update(payload);
+    crc.update(&[kind as u8]);
+    let masked = mask_crc(crc.finalize());
+    let mut t = [0u8; BLOCK_TRAILER_SIZE];
+    t[0] = kind as u8;
+    t[1..5].copy_from_slice(&masked.to_le_bytes());
+    t
+}
+
+/// Step S2 (CHECKSUM): verifies a raw block (payload ++ trailer), returning
+/// the payload slice and its compression kind.
+pub fn verify_block(raw: &[u8]) -> Result<(&[u8], CompressionKind)> {
+    if raw.len() < BLOCK_TRAILER_SIZE {
+        return Err(TableError::Corruption("block shorter than trailer".into()));
+    }
+    let (payload, trailer) = raw.split_at(raw.len() - BLOCK_TRAILER_SIZE);
+    let kind = CompressionKind::from_u8(trailer[0])
+        .ok_or_else(|| TableError::Corruption(format!("bad kind byte {}", trailer[0])))?;
+    let stored = unmask_crc(u32::from_le_bytes(trailer[1..5].try_into().unwrap()));
+    let mut crc = pcp_codec::Crc32c::new();
+    crc.update(payload);
+    crc.update(&[kind as u8]);
+    if crc.finalize() != stored {
+        return Err(TableError::Corruption("block checksum mismatch".into()));
+    }
+    Ok((payload, kind))
+}
+
+/// Step S3 (DECOMPRESS): restores block contents from a verified payload.
+pub fn decompress_block(payload: &[u8], kind: CompressionKind) -> Result<Vec<u8>> {
+    match kind {
+        CompressionKind::None => Ok(payload.to_vec()),
+        CompressionKind::Lz => {
+            let mut out = Vec::new();
+            lz::decompress(payload, &mut out)
+                .map_err(|e| TableError::Corruption(format!("decompress: {e}")))?;
+            Ok(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Writes one SSTable to a [`WritableFile`].
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    opts: TableBuilderOptions,
+    block: BlockBuilder,
+    first_key_in_block: Option<Vec<u8>>,
+    /// (last_key, encoded index value) per flushed data block.
+    index_entries: Vec<(Vec<u8>, Vec<u8>)>,
+    bloom_hashes: Vec<u64>,
+    offset: u64,
+    stats: TableStats,
+    finished: bool,
+}
+
+impl TableBuilder {
+    /// Starts a table at the beginning of `file`.
+    pub fn new(file: Box<dyn WritableFile>, opts: TableBuilderOptions) -> Self {
+        let restart = opts.restart_interval;
+        TableBuilder {
+            file,
+            opts,
+            block: BlockBuilder::new(restart),
+            first_key_in_block: None,
+            index_entries: Vec::new(),
+            bloom_hashes: Vec::new(),
+            offset: 0,
+            stats: TableStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Appends an entry. `ikey` must sort after all previous keys under
+    /// [`internal_key_cmp`].
+    pub fn add(&mut self, ikey: &[u8], value: &[u8]) -> Result<()> {
+        debug_assert!(!self.finished);
+        if self.first_key_in_block.is_none() {
+            self.first_key_in_block = Some(ikey.to_vec());
+        }
+        self.block.add(ikey, value);
+        self.bloom_hashes.push(BloomFilter::hash_key(user_key(ikey)));
+        self.stats.entries += 1;
+        if self.block.size_estimate() >= self.opts.block_size {
+            self.flush_data_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_data_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let entries = self.block.entries() as u64;
+        let last_key = self.block.last_key().to_vec();
+        let first_key = self.first_key_in_block.take().expect("first key recorded");
+        let contents = self.block.finish();
+        self.stats.raw_bytes += contents.len() as u64;
+        let (payload, kind) = compress_block(&contents, self.opts.compression);
+        let trailer = make_trailer(&payload, kind);
+        let handle = self.append_block(&payload, &trailer)?;
+        self.push_index_entry(handle, first_key, last_key, entries);
+        Ok(())
+    }
+
+    fn append_block(&mut self, payload: &[u8], trailer: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: payload.len() as u64,
+        };
+        self.file.append(payload)?;
+        self.file.append(trailer)?;
+        self.offset += (payload.len() + trailer.len()) as u64;
+        self.stats.data_blocks += 1;
+        Ok(handle)
+    }
+
+    fn push_index_entry(
+        &mut self,
+        handle: BlockHandle,
+        first_key: Vec<u8>,
+        last_key: Vec<u8>,
+        entries: u64,
+    ) {
+        let mut value = Vec::with_capacity(first_key.len() + 24);
+        handle.encode_to(&mut value);
+        pcp_codec::put_u64(&mut value, first_key.len() as u64);
+        value.extend_from_slice(&first_key);
+        pcp_codec::put_u64(&mut value, entries);
+        self.index_entries.push((last_key, value));
+    }
+
+    /// Appends a block already compressed and trailed by the compaction
+    /// pipeline's compute stage (`raw` = payload ++ trailer). The caller
+    /// supplies the block's key range, entry count, uncompressed size, and
+    /// the per-key bloom hashes.
+    pub fn add_sealed_block(
+        &mut self,
+        raw: &[u8],
+        first_key: &[u8],
+        last_key: &[u8],
+        entries: u64,
+        raw_len: u64,
+        bloom_hashes: &[u64],
+    ) -> Result<()> {
+        debug_assert!(!self.finished);
+        debug_assert!(self.block.is_empty(), "mixing add() and sealed blocks mid-block");
+        debug_assert!(raw.len() >= BLOCK_TRAILER_SIZE);
+        let payload_len = raw.len() - BLOCK_TRAILER_SIZE;
+        let handle = self.append_block(&raw[..payload_len], &raw[payload_len..])?;
+        self.push_index_entry(handle, first_key.to_vec(), last_key.to_vec(), entries);
+        self.bloom_hashes.extend_from_slice(bloom_hashes);
+        self.stats.entries += entries;
+        self.stats.raw_bytes += raw_len;
+        Ok(())
+    }
+
+    /// Pushes buffered bytes to the device: one call = one step-S7 I/O.
+    pub fn flush_io(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Estimated final file size if finished now.
+    pub fn estimated_size(&self) -> u64 {
+        self.offset + self.block.size_estimate() as u64
+    }
+
+    /// Entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.stats.entries
+    }
+
+    /// Last internal key added (empty before any add).
+    pub fn last_key(&self) -> &[u8] {
+        if self.block.is_empty() {
+            self.index_entries
+                .last()
+                .map(|(k, _)| k.as_slice())
+                .unwrap_or(&[])
+        } else {
+            self.block.last_key()
+        }
+    }
+
+    /// Completes the table: writes filter, index, properties and footer,
+    /// then syncs the file. Returns the final stats.
+    pub fn finish(mut self) -> Result<TableStats> {
+        self.flush_data_block()?;
+        self.finished = true;
+
+        // Bloom-filter block.
+        let filter_handle = if self.opts.bloom_bits_per_key > 0 {
+            let filter = BloomFilter::build_from_hashes(
+                &self.bloom_hashes,
+                self.opts.bloom_bits_per_key,
+            );
+            let payload = filter.encode();
+            let trailer = make_trailer(&payload, CompressionKind::None);
+            let h = BlockHandle {
+                offset: self.offset,
+                size: payload.len() as u64,
+            };
+            self.file.append(&payload)?;
+            self.file.append(&trailer)?;
+            self.offset += (payload.len() + BLOCK_TRAILER_SIZE) as u64;
+            h
+        } else {
+            BlockHandle { offset: 0, size: 0 }
+        };
+
+        // Index block (restart interval 1: every entry is a restart point).
+        let mut ib = BlockBuilder::new(1);
+        for (k, v) in &self.index_entries {
+            ib.add(k, v);
+        }
+        let contents = ib.finish();
+        let (payload, kind) = compress_block(&contents, self.opts.compression);
+        let trailer = make_trailer(&payload, kind);
+        let index_handle = BlockHandle {
+            offset: self.offset,
+            size: payload.len() as u64,
+        };
+        self.file.append(&payload)?;
+        self.file.append(&trailer)?;
+        self.offset += (payload.len() + BLOCK_TRAILER_SIZE) as u64;
+
+        // Properties block.
+        let mut props = Vec::new();
+        pcp_codec::put_u64(&mut props, self.stats.entries);
+        pcp_codec::put_u64(&mut props, self.stats.data_blocks);
+        pcp_codec::put_u64(&mut props, self.stats.raw_bytes);
+        let trailer = make_trailer(&props, CompressionKind::None);
+        let props_handle = BlockHandle {
+            offset: self.offset,
+            size: props.len() as u64,
+        };
+        self.file.append(&props)?;
+        self.file.append(&trailer)?;
+        self.offset += (props.len() + BLOCK_TRAILER_SIZE) as u64;
+
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        filter_handle.encode_to(&mut footer);
+        index_handle.encode_to(&mut footer);
+        props_handle.encode_to(&mut footer);
+        assert!(footer.len() <= FOOTER_SIZE - 8, "footer handles overflow");
+        footer.resize(FOOTER_SIZE - 8, 0);
+        footer.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        self.file.append(&footer)?;
+        self.offset += FOOTER_SIZE as u64;
+        self.file.sync()?;
+
+        self.stats.file_size = self.offset;
+        Ok(self.stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Read-side handle to one immutable SSTable.
+pub struct TableReader {
+    file: Arc<dyn RandomReadFile>,
+    index: Block,
+    bloom: Option<BloomFilter>,
+    stats: TableStats,
+    /// Optional decoded-block cache and this table's namespace in it.
+    cache: Option<(Arc<BlockCache>, u64)>,
+}
+
+impl std::fmt::Debug for TableReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableReader")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl TableReader {
+    /// Opens a table, reading footer, index, filter and properties.
+    pub fn open(file: Arc<dyn RandomReadFile>) -> Result<TableReader> {
+        Self::open_with_cache(file, None)
+    }
+
+    /// Opens a table that reads data blocks through `cache` (the
+    /// compaction path's raw-span reads always bypass it — direct I/O).
+    pub fn open_with_cache(
+        file: Arc<dyn RandomReadFile>,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<TableReader> {
+        let len = file.len();
+        if len < FOOTER_SIZE as u64 {
+            return Err(TableError::Corruption("file shorter than footer".into()));
+        }
+        let footer = file.read_at(len - FOOTER_SIZE as u64, FOOTER_SIZE)?;
+        if footer.len() != FOOTER_SIZE {
+            return Err(TableError::Corruption("short footer read".into()));
+        }
+        let magic = u64::from_le_bytes(footer[FOOTER_SIZE - 8..].try_into().unwrap());
+        if magic != TABLE_MAGIC {
+            return Err(TableError::Corruption(format!(
+                "bad table magic {magic:#x}"
+            )));
+        }
+        let (filter_handle, n1) = BlockHandle::decode(&footer)?;
+        let (index_handle, n2) = BlockHandle::decode(&footer[n1..])?;
+        let (props_handle, _) = BlockHandle::decode(&footer[n1 + n2..])?;
+
+        let index_contents = Self::read_and_decode(&*file, index_handle)?;
+        let index = Block::new(Bytes::from(index_contents))?;
+
+        let bloom = if filter_handle.size > 0 {
+            let payload = Self::read_and_decode(&*file, filter_handle)?;
+            Some(BloomFilter::decode(&payload).ok_or_else(|| {
+                TableError::Corruption("undecodable bloom filter".into())
+            })?)
+        } else {
+            None
+        };
+
+        let props = Self::read_and_decode(&*file, props_handle)?;
+        let mut stats = TableStats::default();
+        let (entries, n1) = pcp_codec::decode_u64(&props)
+            .map_err(|e| TableError::Corruption(format!("props: {e}")))?;
+        let (blocks, n2) = pcp_codec::decode_u64(&props[n1..])
+            .map_err(|e| TableError::Corruption(format!("props: {e}")))?;
+        let (raw, _) = pcp_codec::decode_u64(&props[n1 + n2..])
+            .map_err(|e| TableError::Corruption(format!("props: {e}")))?;
+        stats.entries = entries;
+        stats.data_blocks = blocks;
+        stats.raw_bytes = raw;
+        stats.file_size = len;
+
+        Ok(TableReader {
+            file,
+            index,
+            bloom,
+            stats,
+            cache: cache.map(|c| {
+                let id = c.new_id();
+                (c, id)
+            }),
+        })
+    }
+
+    fn read_and_decode(file: &dyn RandomReadFile, handle: BlockHandle) -> Result<Vec<u8>> {
+        let raw = file.read_at(handle.offset, handle.size as usize + BLOCK_TRAILER_SIZE)?;
+        if raw.len() != handle.size as usize + BLOCK_TRAILER_SIZE {
+            return Err(TableError::Corruption("short block read".into()));
+        }
+        let (payload, kind) = verify_block(&raw)?;
+        decompress_block(payload, kind)
+    }
+
+    /// Table statistics from the properties block.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Step S1 (READ): fetches one raw block (payload ++ trailer) without
+    /// verification or decompression.
+    pub fn read_raw_block(&self, handle: BlockHandle) -> Result<Bytes> {
+        let raw = self
+            .file
+            .read_at(handle.offset, handle.size as usize + BLOCK_TRAILER_SIZE)?;
+        if raw.len() != handle.size as usize + BLOCK_TRAILER_SIZE {
+            return Err(TableError::Corruption("short block read".into()));
+        }
+        Ok(raw)
+    }
+
+    /// Step S1 at sub-task granularity: fetches the contiguous byte span
+    /// covering blocks `first..=last` (payloads and trailers) in **one**
+    /// device read — the paper sizes compaction I/O by sub-task, not by
+    /// block. Slice individual raw blocks out with [`BlockHandle`] offsets
+    /// relative to `first.offset`.
+    pub fn read_raw_span(&self, first: BlockHandle, last: BlockHandle) -> Result<Bytes> {
+        debug_assert!(last.offset >= first.offset);
+        let len = (last.offset + last.size + BLOCK_TRAILER_SIZE as u64 - first.offset) as usize;
+        let raw = self.file.read_at(first.offset, len)?;
+        if raw.len() != len {
+            return Err(TableError::Corruption("short span read".into()));
+        }
+        Ok(raw)
+    }
+
+    /// Reads and fully decodes one data block (S1+S2+S3), consulting the
+    /// block cache when one is attached.
+    pub fn read_block(&self, handle: BlockHandle) -> Result<Block> {
+        if let Some((cache, id)) = &self.cache {
+            if let Some(block) = cache.get(*id, handle.offset) {
+                return Ok(block);
+            }
+            let contents = Self::read_and_decode(&*self.file, handle)?;
+            let block = Block::new(Bytes::from(contents))?;
+            cache.insert(*id, handle.offset, block.clone());
+            return Ok(block);
+        }
+        let contents = Self::read_and_decode(&*self.file, handle)?;
+        Block::new(Bytes::from(contents))
+    }
+
+    /// Decodes the index into per-block metadata, in key order.
+    pub fn block_metas(&self) -> Result<Vec<BlockMeta>> {
+        let mut out = Vec::with_capacity(self.stats.data_blocks as usize);
+        let mut it = self.index.iter(internal_key_cmp);
+        it.seek_to_first();
+        while it.valid() {
+            out.push(Self::decode_index_value(it.key(), it.value())?);
+            it.next();
+        }
+        Ok(out)
+    }
+
+    fn decode_index_value(last_key: &[u8], value: &[u8]) -> Result<BlockMeta> {
+        let (handle, n) = BlockHandle::decode(value)?;
+        let (fk_len, m) = pcp_codec::decode_u64(&value[n..])
+            .map_err(|e| TableError::Corruption(format!("index value: {e}")))?;
+        let fk_start = n + m;
+        let fk_end = fk_start + fk_len as usize;
+        if fk_end > value.len() {
+            return Err(TableError::Corruption("index first_key overruns".into()));
+        }
+        let (entries, _) = pcp_codec::decode_u64(&value[fk_end..])
+            .map_err(|e| TableError::Corruption(format!("index value: {e}")))?;
+        Ok(BlockMeta {
+            handle,
+            first_key: value[fk_start..fk_end].to_vec(),
+            last_key: last_key.to_vec(),
+            entries,
+        })
+    }
+
+    /// Point lookup: returns the first entry with internal key `>= target`
+    /// that lives in the block the index points at, or `None`. The caller
+    /// (the LSM read path) checks the user key and sequence visibility.
+    ///
+    /// `user_key_hint` lets the bloom filter veto the lookup.
+    pub fn get(&self, target: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if let Some(bloom) = &self.bloom {
+            if !bloom.may_contain(user_key(target)) {
+                return Ok(None);
+            }
+        }
+        let mut idx = self.index.iter(internal_key_cmp);
+        idx.seek(target);
+        if !idx.valid() {
+            return Ok(None);
+        }
+        let meta = Self::decode_index_value(idx.key(), idx.value())?;
+        let block = self.read_block(meta.handle)?;
+        let mut bit = block.iter(internal_key_cmp);
+        bit.seek(target);
+        if bit.valid() {
+            Ok(Some((bit.key().to_vec(), bit.value().to_vec())))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Whole-table cursor.
+    pub fn iter(self: &Arc<Self>) -> TableIter {
+        TableIter {
+            reader: Arc::clone(self),
+            index_iter: self.index.iter(internal_key_cmp),
+            block_iter: None,
+            status: None,
+        }
+    }
+}
+
+/// Two-level cursor: index block → data block.
+pub struct TableIter {
+    reader: Arc<TableReader>,
+    index_iter: BlockIter,
+    block_iter: Option<BlockIter>,
+    status: Option<TableError>,
+}
+
+impl TableIter {
+    /// First error encountered while loading blocks, if any.
+    pub fn status(&self) -> Option<&TableError> {
+        self.status.as_ref()
+    }
+
+    fn load_current_block(&mut self) {
+        self.block_iter = None;
+        if !self.index_iter.valid() {
+            return;
+        }
+        match TableReader::decode_index_value(self.index_iter.key(), self.index_iter.value())
+            .and_then(|meta| self.reader.read_block(meta.handle))
+        {
+            Ok(block) => {
+                self.block_iter = Some(block.iter(internal_key_cmp));
+            }
+            Err(e) => self.status = Some(e),
+        }
+    }
+
+    /// Advances past exhausted blocks.
+    fn skip_forward(&mut self) {
+        loop {
+            if self
+                .block_iter
+                .as_ref()
+                .is_some_and(|b| b.valid())
+            {
+                return;
+            }
+            if !self.index_iter.valid() {
+                self.block_iter = None;
+                return;
+            }
+            self.index_iter.next();
+            self.load_current_block();
+            if let Some(b) = &mut self.block_iter {
+                b.seek_to_first();
+            }
+        }
+    }
+}
+
+impl KvIter for TableIter {
+    fn valid(&self) -> bool {
+        self.block_iter.as_ref().is_some_and(|b| b.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index_iter.seek_to_first();
+        self.load_current_block();
+        if let Some(b) = &mut self.block_iter {
+            b.seek_to_first();
+        }
+        self.skip_forward();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.index_iter.seek(target);
+        self.load_current_block();
+        if let Some(b) = &mut self.block_iter {
+            b.seek(target);
+        }
+        self.skip_forward();
+    }
+
+    fn next(&mut self) {
+        if let Some(b) = &mut self.block_iter {
+            b.next();
+        }
+        self.skip_forward();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.block_iter.as_ref().expect("valid iterator").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.block_iter.as_ref().expect("valid iterator").value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{make_internal_key, ValueType};
+    use pcp_storage::{Env, SimDevice, SimEnv};
+
+    fn test_env() -> SimEnv {
+        SimEnv::new(Arc::new(SimDevice::mem(256 << 20)))
+    }
+
+    fn build_table(
+        env: &SimEnv,
+        name: &str,
+        n: usize,
+        opts: TableBuilderOptions,
+    ) -> Arc<TableReader> {
+        let file = env.create(name).unwrap();
+        let mut b = TableBuilder::new(file, opts);
+        for i in 0..n {
+            let ikey = make_internal_key(
+                format!("key{i:08}").as_bytes(),
+                i as u64 + 1,
+                ValueType::Value,
+            );
+            // Mildly compressible values.
+            let value = format!("value-{i:08}-{}", "x".repeat(80));
+            b.add(&ikey, value.as_bytes()).unwrap();
+        }
+        let stats = b.finish().unwrap();
+        assert_eq!(stats.entries, n as u64);
+        let file = env.open(name).unwrap();
+        Arc::new(TableReader::open(file).unwrap())
+    }
+
+    #[test]
+    fn build_and_scan_roundtrip() {
+        let env = test_env();
+        let n = 5000;
+        let reader = build_table(&env, "t.sst", n, TableBuilderOptions::default());
+        assert_eq!(reader.stats().entries, n as u64);
+        assert!(reader.stats().data_blocks > 1);
+
+        let mut it = reader.iter();
+        it.seek_to_first();
+        let mut count = 0usize;
+        let mut prev: Option<Vec<u8>> = None;
+        while it.valid() {
+            if let Some(p) = &prev {
+                assert!(
+                    internal_key_cmp(p, it.key()) == std::cmp::Ordering::Less,
+                    "keys must be strictly increasing"
+                );
+            }
+            prev = Some(it.key().to_vec());
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, n);
+        assert!(it.status().is_none());
+    }
+
+    #[test]
+    fn point_get_hits_and_misses() {
+        let env = test_env();
+        let reader = build_table(&env, "t.sst", 1000, TableBuilderOptions::default());
+        // Hit: lookup key at max sequence finds the entry.
+        let target = make_internal_key(b"key00000500", u64::MAX >> 8, ValueType::Value);
+        let (k, v) = reader.get(&target).unwrap().expect("hit");
+        assert_eq!(user_key(&k), b"key00000500");
+        assert!(v.starts_with(b"value-00000500"));
+        // Miss: absent user key (bloom or block search rejects).
+        let target = make_internal_key(b"nope", u64::MAX >> 8, ValueType::Value);
+        let got = reader.get(&target).unwrap();
+        if let Some((k, _)) = got {
+            assert_ne!(user_key(&k), b"nope");
+        }
+    }
+
+    #[test]
+    fn seek_positions_across_blocks() {
+        let env = test_env();
+        let reader = build_table(&env, "t.sst", 2000, TableBuilderOptions::default());
+        let mut it = reader.iter();
+        let target = make_internal_key(b"key00001234", u64::MAX >> 8, ValueType::Value);
+        it.seek(&target);
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key00001234");
+        // Seek between keys lands on the successor.
+        let target = make_internal_key(b"key00001234a", u64::MAX >> 8, ValueType::Value);
+        it.seek(&target);
+        assert_eq!(user_key(it.key()), b"key00001235");
+        // Seek past the end invalidates.
+        let target = make_internal_key(b"zzz", u64::MAX >> 8, ValueType::Value);
+        it.seek(&target);
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn block_metas_cover_whole_key_range_in_order() {
+        let env = test_env();
+        let n = 3000;
+        let reader = build_table(&env, "t.sst", n, TableBuilderOptions::default());
+        let metas = reader.block_metas().unwrap();
+        assert_eq!(metas.len() as u64, reader.stats().data_blocks);
+        let total: u64 = metas.iter().map(|m| m.entries).sum();
+        assert_eq!(total, n as u64);
+        for w in metas.windows(2) {
+            assert!(
+                internal_key_cmp(&w[0].last_key, &w[1].first_key)
+                    == std::cmp::Ordering::Less,
+                "blocks must be disjoint and ordered"
+            );
+        }
+        assert_eq!(user_key(&metas[0].first_key), b"key00000000");
+        assert_eq!(
+            user_key(&metas.last().unwrap().last_key),
+            format!("key{:08}", n - 1).as_bytes()
+        );
+    }
+
+    #[test]
+    fn raw_block_path_matches_decoded_path() {
+        let env = test_env();
+        let reader = build_table(&env, "t.sst", 500, TableBuilderOptions::default());
+        for meta in reader.block_metas().unwrap() {
+            let raw = reader.read_raw_block(meta.handle).unwrap();
+            let (payload, kind) = verify_block(&raw).unwrap();
+            let contents = decompress_block(payload, kind).unwrap();
+            let direct = reader.read_block(meta.handle).unwrap();
+            assert_eq!(contents.len(), direct.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_block_fails_checksum() {
+        let env = test_env();
+        let reader = build_table(&env, "t.sst", 200, TableBuilderOptions::default());
+        let metas = reader.block_metas().unwrap();
+        let raw = reader.read_raw_block(metas[0].handle).unwrap();
+        let mut corrupt = raw.to_vec();
+        corrupt[0] ^= 0x01;
+        assert!(matches!(
+            verify_block(&corrupt),
+            Err(TableError::Corruption(_))
+        ));
+        // Flipping a trailer bit is also caught.
+        let mut corrupt = raw.to_vec();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x80;
+        assert!(verify_block(&corrupt).is_err());
+    }
+
+    #[test]
+    fn uncompressed_tables_work() {
+        let env = test_env();
+        let opts = TableBuilderOptions {
+            compression: CompressionKind::None,
+            ..Default::default()
+        };
+        let reader = build_table(&env, "t.sst", 300, opts);
+        let mut it = reader.iter();
+        it.seek_to_first();
+        let mut n = 0;
+        while it.valid() {
+            n += 1;
+            it.next();
+        }
+        assert_eq!(n, 300);
+    }
+
+    #[test]
+    fn no_bloom_filter_still_gets() {
+        let env = test_env();
+        let opts = TableBuilderOptions {
+            bloom_bits_per_key: 0,
+            ..Default::default()
+        };
+        let reader = build_table(&env, "t.sst", 100, opts);
+        let target = make_internal_key(b"key00000042", u64::MAX >> 8, ValueType::Value);
+        assert!(reader.get(&target).unwrap().is_some());
+    }
+
+    #[test]
+    fn sealed_block_path_roundtrip() {
+        // Simulate the pipeline: build block contents manually, seal them,
+        // feed them through add_sealed_block, and read everything back.
+        let env = test_env();
+        let file = env.create("sealed.sst").unwrap();
+        let mut tb = TableBuilder::new(file, TableBuilderOptions::default());
+
+        let mut bb = BlockBuilder::new(16);
+        let mut hashes = Vec::new();
+        let mut first = None;
+        let mut last = Vec::new();
+        for i in 0..100 {
+            let ik = make_internal_key(
+                format!("k{i:05}").as_bytes(),
+                i + 1,
+                ValueType::Value,
+            );
+            bb.add(&ik, b"sealed-value");
+            hashes.push(BloomFilter::hash_key(user_key(&ik)));
+            if first.is_none() {
+                first = Some(ik.clone());
+            }
+            last = ik;
+        }
+        let contents = bb.finish();
+        let (payload, kind) = compress_block(&contents, CompressionKind::Lz);
+        let trailer = make_trailer(&payload, kind);
+        let mut raw = payload;
+        raw.extend_from_slice(&trailer);
+
+        tb.add_sealed_block(
+            &raw,
+            &first.unwrap(),
+            &last,
+            100,
+            contents.len() as u64,
+            &hashes,
+        )
+        .unwrap();
+        let stats = tb.finish().unwrap();
+        assert_eq!(stats.entries, 100);
+        assert_eq!(stats.data_blocks, 1);
+
+        let reader =
+            Arc::new(TableReader::open(env.open("sealed.sst").unwrap()).unwrap());
+        let mut it = reader.iter();
+        it.seek_to_first();
+        let mut n = 0;
+        while it.valid() {
+            assert_eq!(it.value(), b"sealed-value");
+            n += 1;
+            it.next();
+        }
+        assert_eq!(n, 100);
+        let target = make_internal_key(b"k00050", u64::MAX >> 8, ValueType::Value);
+        assert!(reader.get(&target).unwrap().is_some());
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_garbage_files() {
+        let env = test_env();
+        let mut f = env.create("bad").unwrap();
+        f.append(b"not a table").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(TableReader::open(env.open("bad").unwrap()).is_err());
+
+        let mut f = env.create("garbage").unwrap();
+        f.append(&vec![0xAB; 200]).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(TableReader::open(env.open("garbage").unwrap()).is_err());
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let env = test_env();
+        let reader = build_table(&env, "one.sst", 1, TableBuilderOptions::default());
+        let mut it = reader.iter();
+        it.seek_to_first();
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key00000000");
+        it.next();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn compression_actually_shrinks_file() {
+        let env = test_env();
+        let n = 2000;
+        let c = build_table(&env, "c.sst", n, TableBuilderOptions::default());
+        let u = build_table(
+            &env,
+            "u.sst",
+            n,
+            TableBuilderOptions {
+                compression: CompressionKind::None,
+                ..Default::default()
+            },
+        );
+        assert!(
+            c.stats().file_size < u.stats().file_size * 3 / 4,
+            "lz file {} vs raw file {}",
+            c.stats().file_size,
+            u.stats().file_size
+        );
+        assert_eq!(c.stats().raw_bytes, u.stats().raw_bytes);
+    }
+}

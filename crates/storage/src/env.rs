@@ -1,0 +1,90 @@
+//! The filesystem abstraction the LSM engine programs against.
+//!
+//! Modeled on LevelDB's `Env`: the engine never touches `std::fs` or a
+//! block device directly, so the same engine runs over [`crate::SimEnv`]
+//! (simulated HDD/SSD/RAID latencies, used for all paper experiments) and
+//! [`crate::StdFsEnv`] (real files, used to sanity-check the engine on an
+//! actual filesystem).
+
+use bytes::Bytes;
+use std::io;
+use std::sync::Arc;
+
+/// An append-only file handle (WAL, SSTable under construction, MANIFEST).
+pub trait WritableFile: Send {
+    /// Buffers `data` at the end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Pushes buffered data to the device. One `flush` is one device write,
+    /// so the caller controls I/O granularity (e.g. one write per sub-task,
+    /// the unit of compaction step S7).
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Flushes and then makes the data durable.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Bytes appended so far (buffered or not).
+    fn len(&self) -> u64;
+
+    /// True if nothing has been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A positional-read file handle (immutable SSTables, recovery-time logs).
+pub trait RandomReadFile: Send + Sync {
+    /// Reads `len` bytes at `offset`. Short reads at end-of-file return
+    /// only the available bytes.
+    fn read_at(&self, offset: u64, len: usize) -> io::Result<Bytes>;
+
+    /// File length in bytes.
+    fn len(&self) -> u64;
+
+    /// True if the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A flat-namespace filesystem.
+pub trait Env: Send + Sync + std::fmt::Debug {
+    /// Creates (or truncates) a file and returns an append handle.
+    fn create(&self, name: &str) -> io::Result<Box<dyn WritableFile>>;
+
+    /// Opens an existing file for positional reads.
+    fn open(&self, name: &str) -> io::Result<Arc<dyn RandomReadFile>>;
+
+    /// Removes a file.
+    fn delete(&self, name: &str) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing `to` if present.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// True if `name` exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// All file names, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Size of `name` in bytes.
+    fn size(&self, name: &str) -> io::Result<u64>;
+}
+
+/// Writes an entire file in one call (helper for CURRENT-style pointers).
+pub fn write_string_file(env: &dyn Env, name: &str, contents: &str) -> io::Result<()> {
+    let tmp = format!("{name}.tmp");
+    let mut f = env.create(&tmp)?;
+    f.append(contents.as_bytes())?;
+    f.sync()?;
+    drop(f);
+    env.rename(&tmp, name)
+}
+
+/// Reads an entire file to a `String` (helper for CURRENT-style pointers).
+pub fn read_string_file(env: &dyn Env, name: &str) -> io::Result<String> {
+    let f = env.open(name)?;
+    let data = f.read_at(0, f.len() as usize)?;
+    String::from_utf8(data.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

@@ -1,0 +1,52 @@
+//! # pcp-storage
+//!
+//! The I/O substrate of the pipelined-compaction LSM-tree. Compaction steps
+//! S1 (READ) and S7 (WRITE) spend their time here.
+//!
+//! The paper's experiments ran on real 7200 RPM SATA disks and an Intel
+//! X25-M SSD. To make the reproduction deterministic and host-independent,
+//! this crate provides *simulated* block devices whose service times follow
+//! published device characteristics and are realized with real sleeps —
+//! so a thread doing simulated I/O genuinely leaves the CPU free for the
+//! compute stage, which is exactly the overlap PCP exploits.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`model`] — [`LatencyModel`]s: [`HddModel`] (seek + rotation + media
+//!   rate + write buffer), [`SsdModel`] (access latency, internal-channel
+//!   parallelism, erase-penalty writes), [`NullModel`] (no latency).
+//! * [`device`] — [`BlockDevice`] trait and [`SimDevice`], an in-memory
+//!   sparse backing store behind a per-device service lock (one "disk arm").
+//! * [`raid`] — [`Raid0`], striping across k devices with parallel chunk
+//!   service, as the paper builds with the Linux `md` driver for S-PPCP.
+//! * [`env`](mod@env) + [`sim_env`] / [`std_env`] — the filesystem abstraction the
+//!   LSM engine programs against (create/append/read/rename/delete), with a
+//!   simulated implementation backed by a [`BlockDevice`] plus extent
+//!   allocator, and a real `std::fs` implementation.
+
+pub mod alloc;
+pub mod device;
+pub mod env;
+pub mod model;
+pub mod raid;
+pub mod sim_env;
+pub mod stats;
+pub mod std_env;
+pub mod trace;
+
+pub use device::{BlockDevice, SimDevice};
+pub use env::{Env, RandomReadFile, WritableFile};
+pub use model::{HddModel, IoKind, LatencyModel, NullModel, SsdModel};
+pub use raid::Raid0;
+pub use sim_env::SimEnv;
+pub use stats::DeviceStats;
+pub use std_env::StdFsEnv;
+pub use trace::{TraceDevice, TraceRecord};
+
+use std::sync::Arc;
+
+/// Shared handle to a block device.
+pub type DeviceRef = Arc<dyn BlockDevice>;
+
+/// Shared handle to a filesystem environment.
+pub type EnvRef = Arc<dyn Env>;

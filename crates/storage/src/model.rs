@@ -1,0 +1,451 @@
+//! Device latency models.
+//!
+//! A [`LatencyModel`] maps one I/O request to a modeled service time, given
+//! mutable per-device state (head position, write-buffer level). The models
+//! are deterministic: the same request sequence always produces the same
+//! service times, which keeps every experiment reproducible.
+//!
+//! Two concrete models mirror the paper's testbed:
+//!
+//! * [`HddModel`] — 7200 RPM SATA disk: distance-dependent seek, half-turn
+//!   rotational latency, ~120 MB/s media rate, and an on-drive write buffer
+//!   that makes write bandwidth look better than read bandwidth (the paper
+//!   observes exactly this in §IV-B: "the write request is considered
+//!   completed after the data has been written into the disk write buffer").
+//! * [`SsdModel`] — Intel X25-M-class flash SSD: tens-of-µs access latency,
+//!   read bandwidth that *grows with I/O size* as more internal channels
+//!   engage (the effect behind Fig. 11(a)), and erase-penalty writes that
+//!   make step WRITE slower than step READ (Fig. 5(b) / 8(b) / 9(b)).
+
+use std::time::Duration;
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    Read,
+    Write,
+}
+
+/// Decomposed service time for one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceTime {
+    /// Positioning overhead: seek + rotation (HDD) or access latency (SSD).
+    pub position: Duration,
+    /// Data movement at the effective transfer rate.
+    pub transfer: Duration,
+    /// Stall waiting for internal resources (e.g. a full write buffer).
+    pub stall: Duration,
+}
+
+impl ServiceTime {
+    /// Total modeled duration of the request.
+    pub fn total(&self) -> Duration {
+        self.position + self.transfer + self.stall
+    }
+}
+
+/// Mutable per-device mechanical/firmware state threaded through the model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelState {
+    /// Byte address the head (or last access) ended at.
+    pub head: u64,
+    /// Write-buffer fill level in bytes (HDD).
+    pub buffer_level: u64,
+    /// Model-time instant up to which the buffer has drained.
+    pub buffer_drained_to: Duration,
+}
+
+/// A deterministic device timing model.
+pub trait LatencyModel: Send + Sync + std::fmt::Debug {
+    /// Service time for a request of `len` bytes at byte address `offset`,
+    /// arriving at model-time `now`. Updates `state` (head position, buffer
+    /// level) as a side effect.
+    fn service_time(
+        &self,
+        kind: IoKind,
+        offset: u64,
+        len: usize,
+        now: Duration,
+        state: &mut ModelState,
+    ) -> ServiceTime;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Zero-latency model: every request is free. Used by correctness tests and
+/// as the backing for "RAM disk" environments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullModel;
+
+impl LatencyModel for NullModel {
+    fn service_time(
+        &self,
+        _kind: IoKind,
+        offset: u64,
+        len: usize,
+        _now: Duration,
+        state: &mut ModelState,
+    ) -> ServiceTime {
+        state.head = offset + len as u64;
+        ServiceTime::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// 7200 RPM SATA hard-disk model.
+#[derive(Debug, Clone)]
+pub struct HddModel {
+    /// Shortest track-to-track seek.
+    pub min_seek: Duration,
+    /// Full-stroke seek.
+    pub max_seek: Duration,
+    /// Average rotational latency (half a revolution; 4.17 ms at 7200 RPM).
+    pub rotational_latency: Duration,
+    /// Sustained media transfer rate, bytes/second.
+    pub media_rate: u64,
+    /// Host-to-buffer burst rate for writes, bytes/second.
+    pub burst_rate: u64,
+    /// On-drive write-buffer capacity, bytes.
+    pub buffer_capacity: u64,
+    /// Addressable capacity used to normalize seek distance.
+    pub capacity: u64,
+}
+
+impl Default for HddModel {
+    fn default() -> Self {
+        // Like the SSD default, these numbers are scaled ~1.7x up from the
+        // paper's 7200 RPM SATA disk so that the CPU:disk time ratio on
+        // hosts with modern cores matches the ratio on the paper's 2.4 GHz
+        // Xeon (read ≈ 45 %, compute ≈ 40 %, write ≈ 15 % of an SCP
+        // compaction — Fig. 5(a)). `HddModel::sata_7200()` keeps the
+        // physical 2014 numbers.
+        HddModel {
+            min_seek: Duration::from_micros(300),
+            max_seek: Duration::from_millis(5),
+            rotational_latency: Duration::from_micros(2500),
+            media_rate: 200 * 1024 * 1024,
+            burst_rate: 400 * 1024 * 1024,
+            buffer_capacity: 32 * 1024 * 1024,
+            capacity: 1 << 40, // 1 TB
+        }
+    }
+}
+
+impl HddModel {
+    /// The paper's actual device class: 7200 RPM 1 TB SATA III disk.
+    pub fn sata_7200() -> HddModel {
+        HddModel {
+            min_seek: Duration::from_micros(500),
+            max_seek: Duration::from_millis(10),
+            rotational_latency: Duration::from_micros(4170),
+            media_rate: 120 * 1024 * 1024,
+            burst_rate: 250 * 1024 * 1024,
+            buffer_capacity: 32 * 1024 * 1024,
+            capacity: 1 << 40,
+        }
+    }
+}
+
+impl HddModel {
+    fn seek(&self, from: u64, to: u64) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        let dist = from.abs_diff(to) as f64 / self.capacity as f64;
+        let span = self.max_seek.saturating_sub(self.min_seek);
+        self.min_seek + span.mul_f64(dist.sqrt().min(1.0)) + self.rotational_latency
+    }
+
+    /// Advances the background buffer drain up to model-time `now`.
+    fn drain_buffer(&self, now: Duration, state: &mut ModelState) {
+        if now > state.buffer_drained_to {
+            let dt = now - state.buffer_drained_to;
+            let drained = (dt.as_secs_f64() * self.media_rate as f64) as u64;
+            state.buffer_level = state.buffer_level.saturating_sub(drained);
+            state.buffer_drained_to = now;
+        }
+    }
+}
+
+impl LatencyModel for HddModel {
+    fn service_time(
+        &self,
+        kind: IoKind,
+        offset: u64,
+        len: usize,
+        now: Duration,
+        state: &mut ModelState,
+    ) -> ServiceTime {
+        self.drain_buffer(now, state);
+        match kind {
+            IoKind::Read => {
+                let position = self.seek(state.head, offset);
+                let transfer =
+                    Duration::from_secs_f64(len as f64 / self.media_rate as f64);
+                state.head = offset + len as u64;
+                ServiceTime {
+                    position,
+                    transfer,
+                    stall: Duration::ZERO,
+                }
+            }
+            IoKind::Write => {
+                // Writes complete into the on-drive buffer at burst rate; if
+                // the buffer is full the host stalls while the drive drains
+                // at media rate. Buffered writes do not move the host-visible
+                // head (the drive reorders the physical write-back), which
+                // reproduces the paper's "write bandwidth is better than step
+                // read" observation.
+                let len64 = len as u64;
+                let mut stall = Duration::ZERO;
+                let overflow =
+                    (state.buffer_level + len64).saturating_sub(self.buffer_capacity);
+                if overflow > 0 {
+                    stall = Duration::from_secs_f64(
+                        overflow as f64 / self.media_rate as f64,
+                    );
+                    state.buffer_level = self.buffer_capacity;
+                } else {
+                    state.buffer_level += len64;
+                }
+                let transfer =
+                    Duration::from_secs_f64(len as f64 / self.burst_rate as f64);
+                // The drain clock also advances past the stall we just took.
+                state.buffer_drained_to += stall;
+                ServiceTime {
+                    position: Duration::ZERO,
+                    transfer,
+                    stall,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hdd-7200rpm"
+    }
+}
+
+/// Flash SSD model (Intel X25-M class).
+#[derive(Debug, Clone)]
+pub struct SsdModel {
+    /// Per-request access latency for reads.
+    pub read_latency: Duration,
+    /// Per-request access latency for writes (flash program is slower).
+    pub write_latency: Duration,
+    /// Per-channel read bandwidth, bytes/second.
+    pub channel_read_rate: u64,
+    /// Per-channel write bandwidth, bytes/second (erase-before-write
+    /// penalty keeps this well below the read rate).
+    pub channel_write_rate: u64,
+    /// Number of internal channels.
+    pub channels: u32,
+    /// Stripe unit: bytes of one request served per channel before the next
+    /// channel engages. Requests smaller than this use a single channel,
+    /// which is why small I/Os see a fraction of the peak bandwidth
+    /// (Fig. 11(a)).
+    pub stripe: u64,
+}
+
+impl Default for SsdModel {
+    fn default() -> Self {
+        // The paper's X25-M read ≈ 250 MB/s / write ≈ 80-100 MB/s against a
+        // 2.4 GHz 2010 Xeon core. Hosts running this reproduction have
+        // roughly 2x that core's compute bandwidth, so the default SSD is
+        // scaled up proportionally (SATA3-class: ~384/232 MB/s) to preserve
+        // the paper's CPU:SSD cost *ratio* — the quantity every figure's
+        // shape depends on. `SsdModel::x25m()` keeps the original numbers.
+        SsdModel {
+            read_latency: Duration::from_micros(65),
+            write_latency: Duration::from_micros(85),
+            channel_read_rate: 150 * 1024 * 1024, // 8 ch => ~1.2 GB/s peak
+            channel_write_rate: 68 * 1024 * 1024, // 8 ch => 544 MB/s peak
+            channels: 8,
+            stripe: 32 * 1024,
+        }
+    }
+}
+
+impl SsdModel {
+    /// The paper's actual device (Intel X25-M, SATA II era): read ≈
+    /// 264 MB/s, write ≈ 96 MB/s peak.
+    pub fn x25m() -> SsdModel {
+        SsdModel {
+            channel_read_rate: 33 * 1024 * 1024,
+            channel_write_rate: 12 * 1024 * 1024,
+            ..SsdModel::default()
+        }
+    }
+}
+
+impl SsdModel {
+    fn effective_channels(&self, len: usize) -> u32 {
+        let engaged = (len as u64).div_ceil(self.stripe.max(1)).max(1);
+        (engaged as u32).min(self.channels)
+    }
+
+    /// Effective bandwidth (bytes/second) for one request of `len` bytes.
+    pub fn effective_rate(&self, kind: IoKind, len: usize) -> u64 {
+        let per_channel = match kind {
+            IoKind::Read => self.channel_read_rate,
+            IoKind::Write => self.channel_write_rate,
+        };
+        per_channel * self.effective_channels(len) as u64
+    }
+}
+
+impl LatencyModel for SsdModel {
+    fn service_time(
+        &self,
+        kind: IoKind,
+        offset: u64,
+        len: usize,
+        _now: Duration,
+        state: &mut ModelState,
+    ) -> ServiceTime {
+        let position = match kind {
+            IoKind::Read => self.read_latency,
+            IoKind::Write => self.write_latency,
+        };
+        let rate = self.effective_rate(kind, len);
+        let transfer = Duration::from_secs_f64(len as f64 / rate as f64);
+        state.head = offset + len as u64;
+        ServiceTime {
+            position,
+            transfer,
+            stall: Duration::ZERO,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ssd-x25m"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(model: &dyn LatencyModel, state: &mut ModelState, off: u64, len: usize) -> ServiceTime {
+        model.service_time(IoKind::Read, off, len, Duration::ZERO, state)
+    }
+
+    #[test]
+    fn null_model_is_free() {
+        let mut st = ModelState::default();
+        let t = read(&NullModel, &mut st, 0, 1 << 20);
+        assert_eq!(t.total(), Duration::ZERO);
+        assert_eq!(st.head, 1 << 20);
+    }
+
+    #[test]
+    fn hdd_sequential_read_has_no_seek() {
+        let m = HddModel::default();
+        let mut st = ModelState::default();
+        let first = read(&m, &mut st, 0, 4096);
+        assert_eq!(first.position, Duration::ZERO, "head starts at 0");
+        let second = read(&m, &mut st, 4096, 4096);
+        assert_eq!(second.position, Duration::ZERO, "sequential continuation");
+        assert!(second.transfer > Duration::ZERO);
+    }
+
+    #[test]
+    fn hdd_random_read_pays_seek_and_rotation() {
+        let m = HddModel::default();
+        let mut st = ModelState::default();
+        read(&m, &mut st, 0, 4096);
+        let far = read(&m, &mut st, m.capacity / 2, 4096);
+        assert!(far.position >= m.min_seek + m.rotational_latency);
+        assert!(far.position <= m.max_seek + m.rotational_latency);
+    }
+
+    #[test]
+    fn hdd_longer_seeks_cost_more() {
+        let m = HddModel::default();
+        let near = m.seek(0, 1 << 20);
+        let far = m.seek(0, m.capacity);
+        assert!(far > near);
+        assert!(far <= m.max_seek + m.rotational_latency);
+    }
+
+    #[test]
+    fn hdd_buffered_writes_are_faster_than_reads() {
+        let m = HddModel::default();
+        let mut st = ModelState::default();
+        let w = m.service_time(IoKind::Write, 1 << 30, 1 << 20, Duration::ZERO, &mut st);
+        let mut st2 = ModelState { head: 123, ..Default::default() };
+        let r = m.service_time(IoKind::Read, 1 << 30, 1 << 20, Duration::ZERO, &mut st2);
+        assert!(w.total() < r.total(), "buffered write {w:?} vs seeking read {r:?}");
+    }
+
+    #[test]
+    fn hdd_full_buffer_forces_media_rate_stall() {
+        let m = HddModel::default();
+        let mut st = ModelState::default();
+        // Fill the buffer instantly (model time frozen at zero => no drain).
+        let mut total = Duration::ZERO;
+        let chunk = 1 << 20;
+        for i in 0..((m.buffer_capacity / chunk as u64) + 4) {
+            let t = m.service_time(
+                IoKind::Write,
+                i * chunk as u64,
+                chunk,
+                Duration::ZERO,
+                &mut st,
+            );
+            total += t.total();
+        }
+        // Final writes must include a media-rate stall component.
+        let t = m.service_time(IoKind::Write, 0, chunk, Duration::ZERO, &mut st);
+        assert!(t.stall > Duration::ZERO);
+        let media_time = Duration::from_secs_f64(chunk as f64 / m.media_rate as f64);
+        assert!(t.total() >= media_time, "overflowing write at media rate");
+    }
+
+    #[test]
+    fn hdd_buffer_drains_over_time() {
+        let m = HddModel::default();
+        let mut st = ModelState::default();
+        st.buffer_level = m.buffer_capacity;
+        // One second at 120 MB/s drains well over 32 MiB.
+        let t = m.service_time(IoKind::Write, 0, 4096, Duration::from_secs(1), &mut st);
+        assert_eq!(t.stall, Duration::ZERO);
+        assert!(st.buffer_level <= 4096);
+    }
+
+    #[test]
+    fn ssd_bandwidth_scales_with_io_size() {
+        let m = SsdModel::default();
+        let small = m.effective_rate(IoKind::Read, 4 * 1024);
+        let medium = m.effective_rate(IoKind::Read, 64 * 1024);
+        let large = m.effective_rate(IoKind::Read, 4 << 20);
+        assert!(small < medium && medium < large);
+        assert_eq!(large, m.channel_read_rate * m.channels as u64);
+        // Beyond full engagement, bandwidth saturates.
+        assert_eq!(m.effective_rate(IoKind::Read, 64 << 20), large);
+    }
+
+    #[test]
+    fn ssd_writes_slower_than_reads() {
+        let m = SsdModel::default();
+        let mut st = ModelState::default();
+        let r = m.service_time(IoKind::Read, 0, 1 << 20, Duration::ZERO, &mut st);
+        let w = m.service_time(IoKind::Write, 0, 1 << 20, Duration::ZERO, &mut st);
+        assert!(w.total() > r.total());
+    }
+
+    #[test]
+    fn ssd_faster_than_hdd_for_random_small_reads() {
+        let ssd = SsdModel::default();
+        let hdd = HddModel::default();
+        let mut s1 = ModelState::default();
+        let mut s2 = ModelState { head: 1 << 35, ..Default::default() };
+        let st = ssd.service_time(IoKind::Read, 0, 4096, Duration::ZERO, &mut s1);
+        let ht = hdd.service_time(IoKind::Read, 0, 4096, Duration::ZERO, &mut s2);
+        assert!(st.total() * 5 < ht.total());
+    }
+}

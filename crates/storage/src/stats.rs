@@ -1,0 +1,144 @@
+//! Per-device counters used by the profiling harnesses.
+//!
+//! All counters are relaxed atomics: they are monotone tallies read only
+//! after the workload quiesces (or approximately, for progress reporting),
+//! so no ordering is required beyond atomicity — see the "Statistics"
+//! discussion in Mara Bos's *Rust Atomics and Locks*, ch. 2/3.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Monotone counters for one device (or one RAID array).
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    read_ops: AtomicU64,
+    read_bytes: AtomicU64,
+    write_ops: AtomicU64,
+    write_bytes: AtomicU64,
+    /// Modeled device busy time, nanoseconds. With `time_scale == 1` this
+    /// is (approximately) the wall time spent inside the service lock.
+    busy_nanos: AtomicU64,
+    /// Modeled seek/access overhead within `busy_nanos`, nanoseconds.
+    seek_nanos: AtomicU64,
+}
+
+impl DeviceStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64, busy: Duration, seek: Duration) {
+        self.read_ops.fetch_add(1, Relaxed);
+        self.read_bytes.fetch_add(bytes, Relaxed);
+        self.busy_nanos.fetch_add(busy.as_nanos() as u64, Relaxed);
+        self.seek_nanos.fetch_add(seek.as_nanos() as u64, Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, busy: Duration, seek: Duration) {
+        self.write_ops.fetch_add(1, Relaxed);
+        self.write_bytes.fetch_add(bytes, Relaxed);
+        self.busy_nanos.fetch_add(busy.as_nanos() as u64, Relaxed);
+        self.seek_nanos.fetch_add(seek.as_nanos() as u64, Relaxed);
+    }
+
+    /// Number of read operations serviced.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Relaxed)
+    }
+
+    /// Number of write operations serviced.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes.load(Relaxed)
+    }
+
+    /// Total modeled busy time.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Relaxed))
+    }
+
+    /// Modeled positioning (seek + rotation / access-latency) time.
+    pub fn seek_time(&self) -> Duration {
+        Duration::from_nanos(self.seek_nanos.load(Relaxed))
+    }
+
+    /// Snapshot of all counters, for before/after deltas.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            read_ops: self.read_ops(),
+            read_bytes: self.read_bytes(),
+            write_ops: self.write_ops(),
+            write_bytes: self.write_bytes(),
+            busy: self.busy(),
+            seek_time: self.seek_time(),
+        }
+    }
+}
+
+/// Plain-data copy of [`DeviceStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub read_ops: u64,
+    pub read_bytes: u64,
+    pub write_ops: u64,
+    pub write_bytes: u64,
+    pub busy: Duration,
+    pub seek_time: Duration,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            busy: self.busy.saturating_sub(earlier.busy),
+            seek_time: self.seek_time.saturating_sub(earlier.seek_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DeviceStats::new();
+        s.record_read(4096, Duration::from_micros(100), Duration::from_micros(10));
+        s.record_read(4096, Duration::from_micros(100), Duration::from_micros(10));
+        s.record_write(8192, Duration::from_micros(50), Duration::ZERO);
+        assert_eq!(s.read_ops(), 2);
+        assert_eq!(s.read_bytes(), 8192);
+        assert_eq!(s.write_ops(), 1);
+        assert_eq!(s.write_bytes(), 8192);
+        assert_eq!(s.busy(), Duration::from_micros(250));
+        assert_eq!(s.seek_time(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = DeviceStats::new();
+        s.record_read(100, Duration::from_micros(5), Duration::ZERO);
+        let a = s.snapshot();
+        s.record_write(200, Duration::from_micros(7), Duration::ZERO);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.read_ops, 0);
+        assert_eq!(d.write_ops, 1);
+        assert_eq!(d.write_bytes, 200);
+        assert_eq!(d.busy, Duration::from_micros(7));
+    }
+}

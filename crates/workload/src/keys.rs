@@ -1,0 +1,195 @@
+//! Key generators.
+//!
+//! Keys are fixed-width (paper: 16 bytes) decimal-encoded integers so that
+//! byte order equals numeric order and experiments are reproducible from a
+//! seed.
+
+/// Key arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyOrder {
+    /// 0, 1, 2, … — compactions become trivial moves (best case).
+    Sequential,
+    /// Uniform random over `[0, space)` — the paper's insert workload.
+    UniformRandom,
+    /// Zipfian over `[0, space)`, skew θ (hot-key heavy).
+    Zipfian(f64),
+}
+
+/// Deterministic key generator.
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    order: KeyOrder,
+    key_len: usize,
+    space: u64,
+    counter: u64,
+    state: u64,
+    /// Precomputed zipf constants.
+    zipf: Option<ZipfState>,
+}
+
+#[derive(Debug, Clone)]
+struct ZipfState {
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl KeyGen {
+    /// Creates a generator of `key_len`-byte keys over `space` distinct
+    /// keys, seeded deterministically.
+    pub fn new(order: KeyOrder, key_len: usize, space: u64, seed: u64) -> KeyGen {
+        assert!(space > 0);
+        assert!(key_len >= 8, "keys shorter than 8 bytes can't hold the space");
+        let zipf = match order {
+            KeyOrder::Zipfian(theta) => {
+                assert!(theta > 0.0 && theta < 1.0, "zipf theta in (0,1)");
+                // Gray et al. incremental zeta is overkill for bench spaces;
+                // direct summation capped at 10M terms.
+                let n = space.min(10_000_000);
+                let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+                let zeta2: f64 = (1..=2u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
+                    / (1.0 - zeta2 / zetan);
+                Some(ZipfState {
+                    theta,
+                    zetan,
+                    alpha,
+                    eta,
+                })
+            }
+            _ => None,
+        };
+        KeyGen {
+            order,
+            key_len,
+            space,
+            counter: 0,
+            state: seed | 1,
+            zipf,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*; deterministic and fast.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_index(&mut self) -> u64 {
+        match self.order {
+            KeyOrder::Sequential => {
+                let v = self.counter % self.space;
+                self.counter += 1;
+                v
+            }
+            KeyOrder::UniformRandom => self.next_u64() % self.space,
+            KeyOrder::Zipfian(_) => {
+                let z = self.zipf.clone().expect("zipf state");
+                let n = self.space.min(10_000_000) as f64;
+                let u = (self.next_u64() as f64) / (u64::MAX as f64);
+                let uz = u * z.zetan;
+                let v = if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(z.theta) {
+                    1
+                } else {
+                    (n * (z.eta * u - z.eta + 1.0).powf(z.alpha)) as u64
+                };
+                v.min(self.space - 1)
+            }
+        }
+    }
+
+    /// Writes the next key into `buf` (resized to `key_len`).
+    pub fn next_key(&mut self, buf: &mut Vec<u8>) {
+        let idx = self.next_index();
+        buf.clear();
+        buf.resize(self.key_len, b'0');
+        // Decimal, right-aligned: byte order == numeric order.
+        let s = format!("{idx:0width$}", width = self.key_len);
+        buf.copy_from_slice(&s.as_bytes()[s.len() - self.key_len..]);
+    }
+
+    /// Convenience allocation of the next key.
+    pub fn next(&mut self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.next_key(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_are_ordered_and_fixed_width() {
+        let mut g = KeyGen::new(KeyOrder::Sequential, 16, 1000, 42);
+        let keys: Vec<Vec<u8>> = (0..100).map(|_| g.next()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|k| k.len() == 16));
+    }
+
+    #[test]
+    fn uniform_keys_are_deterministic_per_seed() {
+        let mut a = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 7);
+        let mut b = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 7);
+        let mut c = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 8);
+        let ka: Vec<_> = (0..50).map(|_| a.next()).collect();
+        let kb: Vec<_> = (0..50).map(|_| b.next()).collect();
+        let kc: Vec<_> = (0..50).map(|_| c.next()).collect();
+        assert_eq!(ka, kb);
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn uniform_keys_spread_over_space() {
+        let mut g = KeyGen::new(KeyOrder::UniformRandom, 16, 1_000_000, 3);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let k = g.next();
+            let v: u64 = std::str::from_utf8(&k).unwrap().parse().unwrap();
+            buckets[(v / 100_000) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!(
+                (500..2000).contains(b),
+                "bucket {i} has {b} of 10000 — not uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_small_indices() {
+        let mut g = KeyGen::new(KeyOrder::Zipfian(0.99), 16, 1_000_000, 5);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = g.next();
+            let v: u64 = std::str::from_utf8(&k).unwrap().parse().unwrap();
+            if v < 10_000 {
+                head += 1;
+            }
+        }
+        // 1% of the key space must draw far more than 1% of accesses.
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "zipf head share {head}/{n} too small"
+        );
+    }
+
+    #[test]
+    fn keys_wrap_within_space() {
+        let mut g = KeyGen::new(KeyOrder::Sequential, 16, 10, 0);
+        let keys: Vec<Vec<u8>> = (0..25).map(|_| g.next()).collect();
+        assert_eq!(keys[0], keys[10]);
+        assert_eq!(keys[5], keys[15]);
+    }
+}

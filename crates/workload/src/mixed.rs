@@ -1,0 +1,185 @@
+//! Mixed read/write driver with latency accounting.
+//!
+//! The paper's evaluation is insert-only, but its motivation is read
+//! latency bounded by compaction keeping entries sorted. This driver
+//! issues an interleaved get/put stream and reports per-class latency
+//! histograms, so the read-side effect of background compaction (and of
+//! write pauses) is observable.
+
+use crate::keys::{KeyGen, KeyOrder};
+use crate::latency::LatencyHistogram;
+use crate::values::ValueGen;
+use pcp_lsm::Db;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Mixed workload shape.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    pub ops: u64,
+    /// Fraction of operations that are reads, in \[0,1\].
+    pub read_fraction: f64,
+    pub key_len: usize,
+    pub value_len: usize,
+    pub key_space: u64,
+    pub order: KeyOrder,
+    pub value_compressibility: f64,
+    pub seed: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            ops: 100_000,
+            read_fraction: 0.5,
+            key_len: 16,
+            value_len: 100,
+            key_space: 100_000,
+            order: KeyOrder::UniformRandom,
+            value_compressibility: 0.5,
+            seed: 0x111,
+        }
+    }
+}
+
+/// What a mixed run measured.
+pub struct MixedReport {
+    pub reads: u64,
+    pub read_hits: u64,
+    pub writes: u64,
+    pub wall: Duration,
+    pub read_latency: LatencyHistogram,
+    pub write_latency: LatencyHistogram,
+}
+
+impl MixedReport {
+    /// Operations per second over the whole run.
+    pub fn ops_per_sec(&self) -> f64 {
+        (self.reads + self.writes) as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs an interleaved get/put stream against `db`.
+pub fn run_mixed(db: &Db, cfg: &MixedConfig) -> io::Result<MixedReport> {
+    assert!((0.0..=1.0).contains(&cfg.read_fraction));
+    let mut keys = KeyGen::new(cfg.order, cfg.key_len, cfg.key_space, cfg.seed);
+    let mut values = ValueGen::new(cfg.value_len, cfg.value_compressibility, cfg.seed ^ 0x5A5A);
+    let read_latency = LatencyHistogram::new();
+    let write_latency = LatencyHistogram::new();
+    let mut reads = 0u64;
+    let mut hits = 0u64;
+    let mut writes = 0u64;
+    let mut key = Vec::new();
+    let mut value = Vec::new();
+    // Deterministic read/write interleaving from a second PRNG stream.
+    let mut x = cfg.seed | 1;
+    let threshold = (cfg.read_fraction * u32::MAX as f64) as u64;
+    let t0 = Instant::now();
+    for _ in 0..cfg.ops {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        keys.next_key(&mut key);
+        if (x & u32::MAX as u64) < threshold {
+            let t = Instant::now();
+            let hit = db.get(&key)?;
+            read_latency.record(t.elapsed());
+            reads += 1;
+            if hit.is_some() {
+                hits += 1;
+            }
+        } else {
+            values.next_value(&mut value);
+            let t = Instant::now();
+            db.put(&key, &value)?;
+            write_latency.record(t.elapsed());
+            writes += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    Ok(MixedReport {
+        reads,
+        read_hits: hits,
+        writes,
+        wall,
+        read_latency,
+        write_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcp_lsm::{CompactionPolicy, Options};
+    use pcp_storage::{EnvRef, SimDevice, SimEnv};
+    use std::sync::Arc;
+
+    fn db() -> Db {
+        let env: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(1 << 30))));
+        Db::open(
+            env,
+            Options {
+                memtable_bytes: 64 << 10,
+                sstable_bytes: 32 << 10,
+                policy: CompactionPolicy {
+                    l0_trigger: 4,
+                    base_level_bytes: 128 << 10,
+                    level_multiplier: 10,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mixed_run_reports_both_classes() {
+        let db = db();
+        let cfg = MixedConfig {
+            ops: 10_000,
+            read_fraction: 0.4,
+            key_space: 2_000,
+            ..Default::default()
+        };
+        let r = run_mixed(&db, &cfg).unwrap();
+        assert_eq!(r.reads + r.writes, 10_000);
+        // The split approximates the configured fraction.
+        let frac = r.reads as f64 / 10_000.0;
+        assert!((frac - 0.4).abs() < 0.05, "read fraction {frac}");
+        // With a small key space, later reads mostly hit.
+        assert!(r.read_hits > r.reads / 2, "{}/{} hits", r.read_hits, r.reads);
+        assert!(!r.read_latency.is_empty());
+        assert!(!r.write_latency.is_empty());
+        assert!(r.ops_per_sec() > 0.0);
+        db.wait_idle().unwrap();
+    }
+
+    #[test]
+    fn read_only_and_write_only_extremes() {
+        let db = db();
+        let writes = run_mixed(
+            &db,
+            &MixedConfig {
+                ops: 2_000,
+                read_fraction: 0.0,
+                key_space: 1_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(writes.reads, 0);
+        assert_eq!(writes.writes, 2_000);
+        let reads = run_mixed(
+            &db,
+            &MixedConfig {
+                ops: 2_000,
+                read_fraction: 1.0,
+                key_space: 1_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reads.writes, 0);
+        assert!(reads.read_hits > 0, "previously written keys must hit");
+    }
+}

@@ -1,0 +1,136 @@
+//! Value generators with controllable compressibility.
+//!
+//! The compression step's cost — and therefore whether the pipeline is
+//! CPU- or I/O-bound — depends on how well values compress. `ratio`
+//! controls the fraction of each value drawn from a small repeating
+//! alphabet (compressible) versus a PRNG stream (incompressible). The
+//! paper's snappy-on-LevelDB setup corresponds to ratio ≈ 0.5.
+
+/// Deterministic value generator.
+#[derive(Debug, Clone)]
+pub struct ValueGen {
+    len: usize,
+    ratio: f64,
+    state: u64,
+}
+
+impl ValueGen {
+    /// Values of `len` bytes, `ratio` ∈ \[0,1\] compressible fraction.
+    pub fn new(len: usize, ratio: f64, seed: u64) -> ValueGen {
+        assert!((0.0..=1.0).contains(&ratio));
+        ValueGen {
+            len,
+            ratio,
+            state: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Fills `buf` with the next value.
+    pub fn next_value(&mut self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.len);
+        let compressible = (self.len as f64 * self.ratio) as usize;
+        // Compressible prefix: a short repeating phrase.
+        const PHRASE: &[u8] = b"pipelined-compaction-";
+        while buf.len() < compressible {
+            let n = PHRASE.len().min(compressible - buf.len());
+            buf.extend_from_slice(&PHRASE[..n]);
+        }
+        // Incompressible tail.
+        while buf.len() < self.len {
+            let word = self.next_u64().to_le_bytes();
+            let n = word.len().min(self.len - buf.len());
+            buf.extend_from_slice(&word[..n]);
+        }
+    }
+
+    /// Convenience allocation of the next value.
+    pub fn next(&mut self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.next_value(&mut buf);
+        buf
+    }
+
+    /// Value length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when values are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressed_fraction(ratio: f64) -> f64 {
+        let mut g = ValueGen::new(120, ratio, 99);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.extend_from_slice(&g.next());
+        }
+        let mut out = Vec::new();
+        pcp_codec_compress(&data, &mut out);
+        out.len() as f64 / data.len() as f64
+    }
+
+    // Local shim: avoid a dev-dependency cycle by inlining a tiny call.
+    fn pcp_codec_compress(data: &[u8], out: &mut Vec<u8>) {
+        // Simple RLE-ish proxy: count distinct 4-grams as a compressibility
+        // signal instead of linking pcp-codec here.
+        use std::collections::HashSet;
+        let grams: HashSet<&[u8]> = data.windows(4).step_by(4).collect();
+        out.resize(grams.len() * 4, 0);
+    }
+
+    #[test]
+    fn ratio_controls_redundancy() {
+        let high = compressed_fraction(0.9);
+        let low = compressed_fraction(0.1);
+        assert!(
+            high < low,
+            "ratio 0.9 should be more redundant: {high:.3} vs {low:.3}"
+        );
+    }
+
+    #[test]
+    fn values_have_exact_length_and_are_deterministic() {
+        let mut a = ValueGen::new(100, 0.5, 1);
+        let mut b = ValueGen::new(100, 0.5, 1);
+        for _ in 0..50 {
+            let va = a.next();
+            assert_eq!(va.len(), 100);
+            assert_eq!(va, b.next());
+        }
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let mut full = ValueGen::new(64, 1.0, 1);
+        let v = full.next();
+        assert!(v.windows(21).any(|w| w == b"pipelined-compaction-"));
+        let mut none = ValueGen::new(64, 0.0, 1);
+        let v = none.next();
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn zero_length_values() {
+        let mut g = ValueGen::new(0, 0.5, 1);
+        assert!(g.next().is_empty());
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Mixed read/write workload with latency histograms: observe how reads
+//! behave while background pipelined compaction reorganizes the tree, and
+//! verify store integrity at the end.
+//!
+//! ```sh
+//! cargo run --release --example mixed_read_write
+//! ```
+
+use pcp::core::PipelinedExec;
+use pcp::lsm::{CompactionPolicy, Db, Options};
+use pcp::storage::{EnvRef, SimDevice, SimEnv, SsdModel};
+use pcp::workload::{run_mixed, KeyOrder, MixedConfig};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    // SSD-modeled device at 1/10 time scale: real latency behaviour,
+    // example-friendly runtime.
+    let env: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::new(
+        "ssd0",
+        SsdModel::default(),
+        1 << 40,
+        0.1,
+    ))));
+    let db = Db::open(
+        env,
+        Options {
+            memtable_bytes: 1 << 20,
+            sstable_bytes: 512 << 10,
+            policy: CompactionPolicy {
+                l0_trigger: 4,
+                base_level_bytes: 4 << 20,
+                level_multiplier: 10,
+            },
+            executor: Arc::new(PipelinedExec::pcp(256 << 10)),
+            ..Default::default()
+        },
+    )?;
+
+    for (phase, read_fraction) in [("load (writes only)", 0.0), ("serve (70% reads)", 0.7)] {
+        let cfg = MixedConfig {
+            ops: 120_000,
+            read_fraction,
+            key_space: 200_000,
+            order: KeyOrder::Zipfian(0.9),
+            seed: 42,
+            ..Default::default()
+        };
+        let r = run_mixed(&db, &cfg)?;
+        println!("== {phase} ==");
+        println!(
+            "  {:.0} ops/s over {:?} ({} reads / {} writes, {:.1}% read hits)",
+            r.ops_per_sec(),
+            r.wall,
+            r.reads,
+            r.writes,
+            if r.reads > 0 {
+                100.0 * r.read_hits as f64 / r.reads as f64
+            } else {
+                0.0
+            }
+        );
+        if r.reads > 0 {
+            println!("  read  latency: {}", r.read_latency.summary());
+        }
+        if r.writes > 0 {
+            println!("  write latency: {}", r.write_latency.summary());
+        }
+    }
+    db.wait_idle()?;
+
+    println!("\n{}", db.debug_string());
+    let report = db.verify_integrity()?;
+    println!(
+        "integrity: {} tables, {} blocks, {} entries — {}",
+        report.tables,
+        report.blocks,
+        report.entries,
+        if report.is_healthy() {
+            "healthy".to_string()
+        } else {
+            format!("{} ERRORS", report.errors.len())
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerates the measured tables in EXPERIMENTS.md from bench_results/*.tsv.
+
+Run after `cargo bench --workspace`:
+
+    python3 scripts/gen_experiments.py
+
+The script rewrites the blocks between `<!-- tsv:NAME -->` and
+`<!-- /tsv -->` markers in EXPERIMENTS.md with the current TSV contents
+rendered as markdown tables, leaving the surrounding analysis prose alone.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "bench_results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+
+def tsv_to_md(path: Path) -> str:
+    lines = path.read_text().strip().splitlines()
+    if not lines:
+        return "*(no data)*"
+    rows = [line.split("\t") for line in lines]
+    header, body = rows[0], rows[1:]
+    out = ["| " + " | ".join(header) + " |", "|" + "---|" * len(header)]
+    for r in body:
+        out.append("| " + " | ".join(r) + " |")
+    return "\n".join(out)
+
+
+def main() -> int:
+    text = DOC.read_text()
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        tsv = RESULTS / f"{name}.tsv"
+        if not tsv.exists():
+            body = f"*(missing {tsv.name} — run `cargo bench --workspace`)*"
+        else:
+            body = tsv_to_md(tsv)
+        return f"<!-- tsv:{name} -->\n{body}\n<!-- /tsv -->"
+
+    new = re.sub(r"<!-- tsv:([\w-]+) -->.*?<!-- /tsv -->", replace, text, flags=re.S)
+    DOC.write_text(new)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+//! Property tests of the sub-task planner over real tables with arbitrary
+//! key layouts: the plan must cover every block exactly once, keep
+//! sub-key ranges disjoint, and never split a user key.
+
+use pcp::core::{check_plan, plan_subtasks};
+use pcp::sstable::key::{make_internal_key, ValueType};
+use pcp::sstable::{TableBuilder, TableBuilderOptions, TableReader};
+use pcp::storage::{EnvRef, SimDevice, SimEnv};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn mem_env() -> EnvRef {
+    Arc::new(SimEnv::new(Arc::new(SimDevice::mem(256 << 20))))
+}
+
+/// Builds a run from (key_byte, versions) specs; returns its block metas.
+fn run_from_keys(env: &EnvRef, name: &str, keys: &[(u8, u8)], seq0: u64) -> Vec<pcp::sstable::table::BlockMeta> {
+    let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut seq = seq0;
+    let mut sorted: Vec<(u8, u8)> = keys.to_vec();
+    sorted.sort();
+    sorted.dedup_by_key(|(k, _)| *k);
+    for (k, versions) in sorted {
+        for _ in 0..=(versions % 4) {
+            entries.push((format!("key{:03}", k).into_bytes(), seq));
+            seq += 1;
+        }
+    }
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut ikeys: Vec<Vec<u8>> = entries
+        .iter()
+        .map(|(k, s)| make_internal_key(k, *s, ValueType::Value))
+        .collect();
+    ikeys.sort_by(|a, b| pcp::sstable::internal_key_cmp(a, b));
+    let f = env.create(name).unwrap();
+    // Tiny blocks force many block boundaries, including mid-user-key.
+    let mut b = TableBuilder::new(
+        f,
+        TableBuilderOptions {
+            block_size: 64,
+            ..Default::default()
+        },
+    );
+    for ik in &ikeys {
+        b.add(ik, b"some-value-payload").unwrap();
+    }
+    b.finish().unwrap();
+    let reader = TableReader::open(env.open(name).unwrap()).unwrap();
+    reader.block_metas().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plan_invariants_hold_for_arbitrary_layouts(
+        upper_keys in prop::collection::vec((any::<u8>(), any::<u8>()), 0..60),
+        lower_keys in prop::collection::vec((any::<u8>(), any::<u8>()), 0..120),
+        target_kb in 1u64..64,
+    ) {
+        let env = mem_env();
+        let runs = vec![
+            run_from_keys(&env, "u.sst", &upper_keys, 100_000),
+            run_from_keys(&env, "l.sst", &lower_keys, 1),
+        ];
+        let plan = plan_subtasks(&runs, target_kb << 10);
+        prop_assert!(check_plan(&runs, &plan).is_ok(), "{:?}", check_plan(&runs, &plan));
+        let total_blocks: usize = runs.iter().map(|r| r.len()).sum();
+        let planned_blocks: usize = plan.iter().map(|s| s.block_count()).sum();
+        prop_assert_eq!(total_blocks, planned_blocks);
+    }
+
+    #[test]
+    fn three_overlapping_runs_plan_correctly(
+        seeds in prop::collection::vec(prop::collection::vec((any::<u8>(), any::<u8>()), 1..40), 3..4),
+        target_kb in 1u64..32,
+    ) {
+        let env = mem_env();
+        let runs: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, keys)| run_from_keys(&env, &format!("t{i}.sst"), keys, 1 + i as u64 * 100_000))
+            .collect();
+        let plan = plan_subtasks(&runs, target_kb << 10);
+        prop_assert!(check_plan(&runs, &plan).is_ok(), "{:?}", check_plan(&runs, &plan));
+    }
+}
