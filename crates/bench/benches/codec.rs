@@ -10,7 +10,7 @@ fn corpus(len: usize, compressibility: f64) -> Vec<u8> {
     let mut g = ValueGen::new(100, compressibility, 0xC0DE);
     let mut out = Vec::with_capacity(len + 100);
     while out.len() < len {
-        out.extend_from_slice(&g.next());
+        out.extend_from_slice(&g.generate());
     }
     out.truncate(len);
     out

@@ -36,6 +36,7 @@ fn paper_options(executor: Arc<dyn CompactionExec>) -> Options {
         sync_writes: false,
         block_cache_bytes: 0,
         executor,
+        ..Options::default()
     }
 }
 

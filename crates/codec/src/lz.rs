@@ -156,7 +156,7 @@ fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
     } else {
         // Count how many bytes the length needs (1..=4).
         let bytes = (u32::BITS - (n as u32).leading_zeros()).div_ceil(8).max(1) as usize;
-        out.push(((59 + bytes as u8) << 2) | 0b00);
+        out.push((59 + bytes as u8) << 2);
         out.extend_from_slice(&(n as u32).to_le_bytes()[..bytes]);
     }
     out.extend_from_slice(lit);

@@ -102,6 +102,8 @@ pub struct SealedWriter<'req> {
     smallest: Vec<u8>,
     last_user_key: Vec<u8>,
     outputs: Vec<Arc<FileMetadata>>,
+    /// Numbers of outputs whose finish failed, pending abort cleanup.
+    aborted_numbers: Vec<u64>,
 }
 
 impl<'req> SealedWriter<'req> {
@@ -114,6 +116,7 @@ impl<'req> SealedWriter<'req> {
             smallest: Vec::new(),
             last_user_key: Vec::new(),
             outputs: Vec::new(),
+            aborted_numbers: Vec::new(),
         }
     }
 
@@ -164,7 +167,15 @@ impl<'req> SealedWriter<'req> {
     fn finish_current(&mut self) -> TableResult<()> {
         if let Some((number, builder)) = self.builder.take() {
             let largest = builder.last_key().to_vec();
-            let stats = builder.finish()?;
+            let stats = match builder.finish() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    // The half-written table is already an orphan; remember
+                    // it so abort() can sweep it.
+                    self.aborted_numbers.push(number);
+                    return Err(e);
+                }
+            };
             // Footer/index/filter bytes beyond the sealed data blocks.
             self.profile.add_output_bytes(
                 stats
@@ -188,12 +199,37 @@ impl<'req> SealedWriter<'req> {
         file_size
     }
 
-    /// Finishes the trailing table; returns outputs in key order.
-    pub fn finish(mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
+    /// Finishes the trailing table; returns outputs in key order. On error
+    /// the writer still owns every created file — call
+    /// [`SealedWriter::abort`] to sweep them.
+    pub fn finish(&mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
         let t0 = Instant::now();
         self.finish_current()?;
         self.profile.record(Step::Write, t0.elapsed());
-        Ok(self.outputs)
+        Ok(std::mem::take(&mut self.outputs))
+    }
+
+    /// Deletes every output file this writer created (the in-progress
+    /// table and all finished ones). Called when the compaction fails so
+    /// partial outputs never outlive the attempt. Best-effort: a file
+    /// whose delete fails (e.g. the env already crashed) is left for the
+    /// database's orphan scan. Returns how many files were deleted.
+    pub fn abort(&mut self) -> usize {
+        if let Some((number, builder)) = self.builder.take() {
+            drop(builder); // close the file handle before unlinking
+            self.aborted_numbers.push(number);
+        }
+        let numbers = self
+            .aborted_numbers
+            .drain(..)
+            .chain(self.outputs.drain(..).map(|m| m.number));
+        let mut deleted = 0;
+        for number in numbers {
+            if self.req.env.delete(&table_file(number)).is_ok() {
+                deleted += 1;
+            }
+        }
+        deleted
     }
 }
 
@@ -240,15 +276,30 @@ impl CompactionExec for ScpExec {
         let plan = plan_subtasks(&runs, self.subtask_bytes);
         let ccfg = compute_config(req);
         let mut writer = SealedWriter::new(req, &self.profile);
-        for st in &plan {
-            // S1 … S7 strictly in order; one resource busy at a time.
-            let data = read_subtask(&readers, st, &self.profile)?;
-            let computed = compute_subtask(data, &ccfg, &self.profile)?;
-            writer.write_subtask(computed)?;
+        let result = {
+            let mut run = || -> TableResult<Vec<Arc<FileMetadata>>> {
+                for st in &plan {
+                    // S1 … S7 strictly in order; one resource busy at a time.
+                    let data = read_subtask(&readers, st, &self.profile)?;
+                    let computed = compute_subtask(data, &ccfg, &self.profile)?;
+                    writer.write_subtask(computed)?;
+                }
+                writer.finish()
+            };
+            run()
+        };
+        match result {
+            Ok(outputs) => {
+                self.profile.add_compaction(wall.elapsed());
+                Ok(outputs)
+            }
+            Err(e) => {
+                // Sweep partial outputs so a failed compaction leaves no
+                // orphan tables behind.
+                writer.abort();
+                Err(e)
+            }
         }
-        let outputs = writer.finish()?;
-        self.profile.add_compaction(wall.elapsed());
-        Ok(outputs)
     }
 }
 
@@ -456,11 +507,23 @@ impl CompactionExec for PipelinedExec {
                     }
                 }
             }
+            // Shut the pipeline down before the scope joins the stage
+            // threads: dropping the tail receiver makes every upstream
+            // `send` fail, which unwinds read and compute workers that
+            // would otherwise block forever on a full bounded queue.
+            drop(comp_rx);
             result = match failure {
-                Some(e) => Err(e),
+                Some(e) => {
+                    writer.abort();
+                    Err(e)
+                }
                 None => {
                     debug_assert_eq!(next, plan.len(), "all sub-tasks written");
-                    writer.finish()
+                    let out = writer.finish();
+                    if out.is_err() {
+                        writer.abort();
+                    }
+                    out
                 }
             };
         });
@@ -539,7 +602,9 @@ mod tests {
         }
     }
 
-    fn read_everything(env: &EnvRef, outputs: &[Arc<FileMetadata>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    type Kvs = Vec<(Vec<u8>, Vec<u8>)>;
+
+    fn read_everything(env: &EnvRef, outputs: &[Arc<FileMetadata>]) -> Kvs {
         let mut all = Vec::new();
         for meta in outputs {
             let t = Arc::new(
@@ -555,7 +620,7 @@ mod tests {
         all
     }
 
-    fn run_exec(exec: &dyn CompactionExec, n: usize) -> (Vec<(Vec<u8>, Vec<u8>)>, usize) {
+    fn run_exec(exec: &dyn CompactionExec, n: usize) -> (Kvs, usize) {
         let env = env();
         let upper = build_input(&env, "u.sst", n, 100_000, 2, "new");
         let lower = build_input(&env, "l.sst", n, 1, 3, "old");
@@ -609,7 +674,7 @@ mod tests {
                 .unwrap()
                 .parse()
                 .unwrap();
-            if idx % 2 == 0 {
+            if idx.is_multiple_of(2) {
                 assert!(v.starts_with(b"new-"), "key {idx} must be rewritten");
             } else {
                 assert!(v.starts_with(b"old-"), "key {idx} must survive");
@@ -667,6 +732,88 @@ mod tests {
         assert_eq!(PipelinedExec::pcp(1 << 20).name(), "pcp");
         assert_eq!(PipelinedExec::c_ppcp(1 << 20, 4).name(), "c-ppcp");
         assert_eq!(PipelinedExec::s_ppcp(1 << 20, 4).name(), "s-ppcp");
+    }
+
+    /// A permanent write failure mid-compaction must terminate every stage
+    /// thread (no deadlock on the bounded queues), surface the error, and
+    /// leave no orphan output tables behind.
+    #[test]
+    fn write_failure_terminates_cleanly_and_sweeps_orphans() {
+        use pcp_storage::{FaultEnv, FaultKind, FaultOp};
+        for exec in [
+            PipelinedExec::pcp(16 << 10),
+            PipelinedExec::c_ppcp(16 << 10, 3),
+            PipelinedExec::s_ppcp(16 << 10, 3),
+            PipelinedExec::new(PipelineConfig {
+                subtask_bytes: 16 << 10,
+                deep_compute: true,
+                ..Default::default()
+            }),
+        ] {
+            let inner = env();
+            let upper = build_input(&inner, "u.sst", 3000, 100_000, 2, "new");
+            let lower = build_input(&inner, "l.sst", 3000, 1, 3, "old");
+            // Inputs were opened on the inner env, so only output writes
+            // go through the fault wrapper; every output flush fails while
+            // upstream stages still have sub-tasks in flight.
+            let fault = FaultEnv::new(Arc::clone(&inner), 33);
+            fault.set_probability(FaultOp::Flush, 1.0);
+            fault.set_probabilistic_kind(FaultKind::Permanent);
+            let mut req = request(&inner, vec![upper], vec![lower]);
+            req.env = Arc::new(fault);
+            let out = exec.compact(&req);
+            assert!(out.is_err(), "{}: fault must surface", exec.name());
+            let left = inner.list().unwrap();
+            assert_eq!(
+                {
+                    let mut l = left.clone();
+                    l.sort();
+                    l
+                },
+                vec!["l.sst".to_string(), "u.sst".to_string()],
+                "{}: orphan outputs must be swept, found {left:?}",
+                exec.name()
+            );
+        }
+    }
+
+    /// SCP gets the same abort-and-sweep treatment as the pipeline.
+    #[test]
+    fn scp_write_failure_sweeps_orphans() {
+        use pcp_storage::{FaultEnv, FaultKind, FaultOp};
+        let inner = env();
+        let upper = build_input(&inner, "u.sst", 3000, 1, 1, "x");
+        let fault = FaultEnv::new(Arc::clone(&inner), 7);
+        fault.schedule(FaultOp::Flush, 3, FaultKind::Permanent);
+        let mut req = request(&inner, vec![upper], vec![]);
+        req.env = Arc::new(fault);
+        assert!(ScpExec::new(16 << 10).compact(&req).is_err());
+        assert_eq!(inner.list().unwrap(), vec!["u.sst".to_string()]);
+    }
+
+    /// A transient fault window makes an attempt fail, but re-running the
+    /// same request succeeds and produces output identical to a fault-free
+    /// run — the driver-level retry contract.
+    #[test]
+    fn retry_after_transient_fault_matches_clean_run() {
+        use pcp_storage::{FaultEnv, FaultKind, FaultOp};
+        let n = 2000;
+        let (clean, _) = run_exec(&PipelinedExec::pcp(32 << 10), n);
+
+        let inner = env();
+        let upper = build_input(&inner, "u.sst", n, 100_000, 2, "new");
+        let lower = build_input(&inner, "l.sst", n, 1, 3, "old");
+        let fault = FaultEnv::new(Arc::clone(&inner), 5);
+        fault.schedule(FaultOp::Flush, 2, FaultKind::Transient);
+        let mut req = request(&inner, vec![upper], vec![lower]);
+        req.env = Arc::new(fault.clone());
+        let exec = PipelinedExec::pcp(32 << 10);
+        assert!(exec.compact(&req).is_err(), "first attempt hits the fault");
+        assert_eq!(fault.stats().transient, 1);
+        // The failed attempt swept its partial outputs, so the retry
+        // starts from a clean slate (fresh file numbers notwithstanding).
+        let outputs = exec.compact(&req).unwrap();
+        assert_eq!(read_everything(&inner, &outputs), clean);
     }
 
     #[test]

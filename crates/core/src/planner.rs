@@ -223,7 +223,7 @@ mod tests {
         let run: RunBlocks = (0..10)
             .map(|i| block(&format!("k{i:02}a"), &format!("k{i:02}z"), 100))
             .collect();
-        let plan = plan_subtasks(&[run.clone()], 250);
+        let plan = plan_subtasks(std::slice::from_ref(&run), 250);
         check_plan(&[run], &plan).unwrap();
         assert!(plan.len() >= 3, "10 blocks * 100B at 250B target: {}", plan.len());
         for st in &plan[..plan.len() - 1] {
@@ -279,7 +279,7 @@ mod tests {
         let upper: RunBlocks = (0..5)
             .map(|i| block(&format!("k{i}"), &format!("k{}", i + 1), 1000))
             .collect();
-        let plan = plan_subtasks(&[upper.clone()], 100);
+        let plan = plan_subtasks(std::slice::from_ref(&upper), 100);
         check_plan(&[upper], &plan).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].block_count(), 5);
@@ -291,7 +291,7 @@ mod tests {
         let run: RunBlocks = (0..20)
             .map(|i| block(&format!("k{i:02}a"), &format!("k{i:02}z"), 100))
             .collect();
-        let plan = plan_subtasks(&[run.clone()], u64::MAX);
+        let plan = plan_subtasks(std::slice::from_ref(&run), u64::MAX);
         check_plan(&[run], &plan).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].entry_count(), 200);

@@ -176,12 +176,15 @@ pub struct DecodedSubTask {
     pub runs: Vec<Vec<Block>>,
 }
 
+/// One merged-but-unsealed block: (contents, first_key, last_key, entries,
+/// bloom hashes).
+pub type MergedBlock = (Vec<u8>, Vec<u8>, Vec<u8>, u64, Vec<u64>);
+
 /// A sub-task after S4: merged, filtered, re-blocked — not yet sealed.
 #[derive(Debug)]
 pub struct MergedSubTask {
     pub index: usize,
-    /// (contents, first_key, last_key, entries, bloom hashes) per block.
-    pub blocks: Vec<(Vec<u8>, Vec<u8>, Vec<u8>, u64, Vec<u64>)>,
+    pub blocks: Vec<MergedBlock>,
 }
 
 /// Steps S2 (CHECKSUM) + S3 (DECOMPRESS) for one sub-task.
@@ -240,7 +243,7 @@ pub fn merge_subtask(
     let mut merged = MergingIter::new(children, internal_key_cmp);
     let mut filter = VersionKeepFilter::new(cfg.smallest_snapshot, cfg.bottom_level);
     let mut builder = BlockBuilder::new(cfg.restart_interval);
-    let mut pending: Vec<(Vec<u8>, Vec<u8>, Vec<u8>, u64, Vec<u64>)> = Vec::new();
+    let mut pending: Vec<MergedBlock> = Vec::new();
     let mut first_key: Vec<u8> = Vec::new();
     let mut hashes: Vec<u64> = Vec::new();
     merged.seek_to_first();
@@ -290,8 +293,9 @@ pub fn seal_subtask(
 ) -> TableResult<ComputedSubTask> {
     // S5 COMPRESS.
     let t0 = Instant::now();
-    let mut compressed: Vec<(Vec<u8>, CompressionKind, Vec<u8>, Vec<u8>, u64, u64, Vec<u64>)> =
-        Vec::with_capacity(merged.blocks.len());
+    // (payload, kind, first_key, last_key, entries, raw_len, bloom hashes).
+    type CompressedBlock = (Vec<u8>, CompressionKind, Vec<u8>, Vec<u8>, u64, u64, Vec<u64>);
+    let mut compressed: Vec<CompressedBlock> = Vec::with_capacity(merged.blocks.len());
     let mut raw_bytes = 0u64;
     let mut entries_out = 0u64;
     for (contents, first, last, entries, h) in merged.blocks {

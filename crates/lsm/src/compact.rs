@@ -131,6 +131,8 @@ pub struct OutputWriter<'req> {
     smallest: Vec<u8>,
     last_user_key: Vec<u8>,
     outputs: Vec<Arc<FileMetadata>>,
+    /// Numbers of outputs whose finish failed, pending abort cleanup.
+    aborted_numbers: Vec<u64>,
 }
 
 impl<'req> OutputWriter<'req> {
@@ -142,6 +144,7 @@ impl<'req> OutputWriter<'req> {
             smallest: Vec::new(),
             last_user_key: Vec::new(),
             outputs: Vec::new(),
+            aborted_numbers: Vec::new(),
         }
     }
 
@@ -176,7 +179,15 @@ impl<'req> OutputWriter<'req> {
     fn finish_current(&mut self) -> TableResult<()> {
         if let Some((number, builder)) = self.builder.take() {
             let largest = builder.last_key().to_vec();
-            let stats = builder.finish()?;
+            let stats = match builder.finish() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    // The half-written table is already an orphan; remember
+                    // it so abort() can sweep it.
+                    self.aborted_numbers.push(number);
+                    return Err(e);
+                }
+            };
             self.outputs.push(Arc::new(FileMetadata {
                 number,
                 size: stats.file_size,
@@ -188,10 +199,34 @@ impl<'req> OutputWriter<'req> {
         Ok(())
     }
 
-    /// Finishes the last table and returns the outputs in key order.
-    pub fn finish(mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
+    /// Finishes the last table and returns the outputs in key order. On
+    /// error the writer still owns every created file — call
+    /// [`OutputWriter::abort`] to sweep them.
+    pub fn finish(&mut self) -> TableResult<Vec<Arc<FileMetadata>>> {
         self.finish_current()?;
-        Ok(self.outputs)
+        Ok(std::mem::take(&mut self.outputs))
+    }
+
+    /// Deletes every output file this writer created, so a failed
+    /// compaction leaves no orphans behind. Best-effort: files whose
+    /// delete fails are left for the database's orphan scan. Returns how
+    /// many files were deleted.
+    pub fn abort(&mut self) -> usize {
+        if let Some((number, builder)) = self.builder.take() {
+            drop(builder); // close the file handle before unlinking
+            self.aborted_numbers.push(number);
+        }
+        let numbers = self
+            .aborted_numbers
+            .drain(..)
+            .chain(self.outputs.drain(..).map(|m| m.number));
+        let mut deleted = 0;
+        for number in numbers {
+            if self.req.env.delete(&table_file(number)).is_ok() {
+                deleted += 1;
+            }
+        }
+        deleted
     }
 }
 
@@ -216,14 +251,23 @@ impl CompactionExec for SimpleMergeExec {
         let mut merged = MergingIter::new(children, pcp_sstable::internal_key_cmp);
         let mut filter = VersionKeepFilter::new(req.smallest_snapshot, req.bottom_level);
         let mut out = OutputWriter::new(req);
-        merged.seek_to_first();
-        while merged.valid() {
-            if filter.keep(merged.key()) {
-                out.add(merged.key(), merged.value())?;
-            }
-            merged.next();
+        let result = {
+            let mut run = || -> TableResult<Vec<Arc<FileMetadata>>> {
+                merged.seek_to_first();
+                while merged.valid() {
+                    if filter.keep(merged.key()) {
+                        out.add(merged.key(), merged.value())?;
+                    }
+                    merged.next();
+                }
+                out.finish()
+            };
+            run()
+        };
+        if result.is_err() {
+            out.abort();
         }
-        out.finish()
+        result
     }
 }
 

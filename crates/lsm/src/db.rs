@@ -33,7 +33,7 @@ use pcp_sstable::{
     internal_key_cmp, CompressionKind, KvIter, MergingIter, TableBuilder,
     TableBuilderOptions,
 };
-use pcp_storage::EnvRef;
+use pcp_storage::{is_transient, EnvRef, RetryPolicy};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
@@ -66,6 +66,10 @@ pub struct Options {
     pub block_cache_bytes: usize,
     /// The compaction algorithm.
     pub executor: Arc<dyn CompactionExec>,
+    /// Retry policy for transient I/O failures in the WAL, MANIFEST, and
+    /// background flush/compaction paths. Non-transient failures are never
+    /// retried; they latch the background-error state (see [`Db::health`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for Options {
@@ -82,6 +86,7 @@ impl Default for Options {
             sync_writes: false,
             block_cache_bytes: 0,
             executor: Arc::new(SimpleMergeExec),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -199,6 +204,9 @@ pub struct Metrics {
     pub compaction_output_bytes: AtomicU64,
     pub compaction_nanos: AtomicU64,
     pub trivial_moves: AtomicU64,
+    pub gc_deleted_files: AtomicU64,
+    pub gc_delete_errors: AtomicU64,
+    pub bg_retries: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Metrics`].
@@ -216,6 +224,13 @@ pub struct MetricsSnapshot {
     pub compaction_output_bytes: u64,
     pub compaction_time: Duration,
     pub trivial_moves: u64,
+    /// Obsolete files removed by the GC sweep.
+    pub gc_deleted_files: u64,
+    /// GC deletes that failed (the file stays until the next sweep).
+    pub gc_delete_errors: u64,
+    /// Background flush/compaction attempts retried after transient I/O
+    /// errors.
+    pub bg_retries: u64,
 }
 
 impl MetricsSnapshot {
@@ -258,6 +273,28 @@ struct DbInner {
 pub struct Db {
     inner: Arc<DbInner>,
     bg_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Result of [`Db::health`]: whether background maintenance is alive.
+///
+/// Once a flush or compaction fails with a non-transient error (after the
+/// configured retries), the database latches that error RocksDB-style:
+/// background work stops, every subsequent write is rejected with the same
+/// error, and reads continue from the last consistent version. The latch
+/// clears only on reopen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbHealth {
+    /// Background maintenance is running normally.
+    Ok,
+    /// A background error is latched; writes are rejected until reopen.
+    BackgroundError(String),
+}
+
+impl DbHealth {
+    /// True when no background error is latched.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, DbHealth::Ok)
+    }
 }
 
 /// A consistent read view; reads at this snapshot ignore later writes.
@@ -390,14 +427,10 @@ impl Db {
             }
             largest.clear();
             largest.extend_from_slice(it.key());
-            builder
-                .add(it.key(), it.value())
-                .map_err(|e| io::Error::other(e.to_string()))?;
+            builder.add(it.key(), it.value()).map_err(table_to_io)?;
             it.next();
         }
-        let stats = builder
-            .finish()
-            .map_err(|e| io::Error::other(e.to_string()))?;
+        let stats = builder.finish().map_err(table_to_io)?;
         Ok(Arc::new(FileMetadata {
             number,
             size: stats.file_size,
@@ -432,10 +465,23 @@ impl Db {
 
         let first_seq = st.versions.last_sequence() + 1;
         let record = batch.encode(first_seq);
+        let sync_writes = inner.opts.sync_writes;
+        let retry = inner.opts.retry;
         let wal = st.wal.as_mut().expect("wal open");
-        wal.add_record(&record)?;
-        if inner.opts.sync_writes {
-            wal.sync()?;
+        let wal_result = pcp_storage::with_retry(&retry, || wal.add_record(&record))
+            .and_then(|()| {
+                if sync_writes {
+                    pcp_storage::with_retry(&retry, || wal.sync())
+                } else {
+                    Ok(())
+                }
+            });
+        if let Err(e) = wal_result {
+            // The WAL can no longer be trusted to hold this (or any later)
+            // record durably. Latch the error so every subsequent write is
+            // rejected instead of silently diverging from the log.
+            st.bg_error = Some(format!("wal write failed: {e}"));
+            return Err(e);
         }
         for (i, (t, k, v)) in batch.entries.iter().enumerate() {
             st.mem.insert(k, first_seq + i as u64, *t, v);
@@ -537,11 +583,16 @@ impl Db {
             return Ok(());
         }
         if !st.mem.is_empty() {
-            // Rotate (waiting for any previous imm first).
+            // Rotate (waiting for any previous imm first). Check the
+            // latched error *before* sleeping and ping the worker on every
+            // turn: a failed flush leaves `imm` in place with the worker
+            // parked, and a bare wait here would never be woken again.
             while st.imm.is_some() {
-                inner.done_cv.wait(&mut st);
                 inner.check_bg_error(&st)?;
+                inner.work_cv.notify_all();
+                inner.done_cv.wait(&mut st);
             }
+            inner.check_bg_error(&st)?;
             inner.rotate_memtable(&mut st)?;
         }
         while st.imm.is_some() {
@@ -574,28 +625,31 @@ impl Db {
         self.flush()?;
         let inner = &*self.inner;
         for level in 0..NUM_LEVELS - 1 {
-            loop {
-                let mut st = inner.state.lock();
-                while st.bg_active {
-                    inner.done_cv.wait(&mut st);
-                }
-                inner.check_bg_error(&st)?;
-                let pick = st.versions.pick_range(level, lo, hi);
-                match pick {
-                    None => break,
-                    Some(pick) => {
-                        st.bg_active = true;
-                        let result = inner.run_compaction(&mut st, pick);
-                        st.bg_active = false;
-                        inner.done_cv.notify_all();
-                        drop(st);
-                        result?;
-                        break; // one pass per level
-                    }
-                }
+            // One pass per level.
+            let mut st = inner.state.lock();
+            while st.bg_active {
+                inner.done_cv.wait(&mut st);
+            }
+            inner.check_bg_error(&st)?;
+            if let Some(pick) = st.versions.pick_range(level, lo, hi) {
+                st.bg_active = true;
+                let result = inner.run_compaction(&mut st, pick);
+                st.bg_active = false;
+                inner.done_cv.notify_all();
+                drop(st);
+                result?;
             }
         }
         Ok(())
+    }
+
+    /// Reports whether background maintenance is healthy or a background
+    /// error has been latched (see [`DbHealth`]).
+    pub fn health(&self) -> DbHealth {
+        match &self.inner.state.lock().bg_error {
+            Some(e) => DbHealth::BackgroundError(e.clone()),
+            None => DbHealth::Ok,
+        }
     }
 
     /// Metrics snapshot.
@@ -620,6 +674,9 @@ impl Db {
                 m.compaction_nanos.load(AtomicOrdering::Relaxed),
             ),
             trivial_moves: m.trivial_moves.load(AtomicOrdering::Relaxed),
+            gc_deleted_files: m.gc_deleted_files.load(AtomicOrdering::Relaxed),
+            gc_delete_errors: m.gc_delete_errors.load(AtomicOrdering::Relaxed),
+            bg_retries: m.bg_retries.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -769,6 +826,14 @@ impl Db {
             (m.compaction_input_bytes + m.compaction_output_bytes) as f64 / 1048576.0,
             m.compaction_bandwidth() / 1048576.0,
         );
+        let _ = writeln!(
+            out,
+            "  gc: {} deleted, {} delete errors   bg retries: {}   health: {:?}",
+            m.gc_deleted_files,
+            m.gc_delete_errors,
+            m.bg_retries,
+            self.health(),
+        );
         out
     }
 }
@@ -800,6 +865,16 @@ impl Drop for Db {
         if let Some(handle) = self.bg_thread.take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// Unwraps a [`pcp_sstable::TableError`] into `io::Error` without losing
+/// the `ErrorKind` — retry classification depends on it surviving the
+/// executor boundary.
+fn table_to_io(e: pcp_sstable::TableError) -> io::Error {
+    match e {
+        pcp_sstable::TableError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
     }
 }
 
@@ -861,9 +936,11 @@ impl DbInner {
     fn rotate_memtable(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
         debug_assert!(st.imm.is_none());
         let new_wal_number = st.versions.allocate_file_number();
-        let new_wal = WalWriter::create(&*self.env, &wal_file(new_wal_number))?;
+        let new_wal = pcp_storage::with_retry(&self.opts.retry, || {
+            WalWriter::create(&*self.env, &wal_file(new_wal_number))
+        })?;
         if let Some(mut old) = st.wal.replace(new_wal) {
-            old.sync()?;
+            pcp_storage::with_retry(&self.opts.retry, || old.sync())?;
         }
         st.wal_number = new_wal_number;
         st.imm = Some(std::mem::replace(&mut st.mem, Arc::new(Memtable::new())));
@@ -934,6 +1011,14 @@ impl DbInner {
             if self.shutdown.load(AtomicOrdering::SeqCst) {
                 return;
             }
+            if st.bg_error.is_some() {
+                // The error is latched: stop attempting work (retrying a
+                // dead disk in a hot loop helps nobody) and keep waking
+                // waiters so flush()/wait_idle() observe the error.
+                self.done_cv.notify_all();
+                self.work_cv.wait(&mut st);
+                continue;
+            }
             let has_flush = st.imm.is_some();
             let pick = if has_flush {
                 None
@@ -946,16 +1031,46 @@ impl DbInner {
                 continue;
             }
             st.bg_active = true;
-            let result = if has_flush {
-                self.run_flush(&mut st)
-            } else {
-                self.run_compaction(&mut st, pick.unwrap())
-            };
+            let result = self.run_with_retry(&mut st, has_flush, pick);
             if let Err(e) = result {
                 st.bg_error = Some(e.to_string());
             }
             st.bg_active = false;
             self.done_cv.notify_all();
+        }
+    }
+
+    /// Runs one flush or compaction, retrying transient I/O failures under
+    /// the configured policy with the backoff sleeps taken *outside* the
+    /// state lock so writers are not blocked behind a backoff.
+    fn run_with_retry(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        has_flush: bool,
+        pick: Option<CompactionPick>,
+    ) -> io::Result<()> {
+        let policy = self.opts.retry;
+        let mut backoff = policy.base_backoff;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let result = if has_flush {
+                self.run_flush(st)
+            } else {
+                self.run_compaction(st, pick.clone().expect("pick present"))
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt < policy.max_attempts => {
+                    self.metrics.bg_retries.fetch_add(1, AtomicOrdering::Relaxed);
+                    if backoff > Duration::ZERO {
+                        let sleep = backoff.min(policy.max_backoff);
+                        MutexGuard::unlocked(st, || std::thread::sleep(sleep));
+                    }
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -971,10 +1086,18 @@ impl DbInner {
         } else {
             // Build the table without holding the lock: this is real
             // (simulated) I/O plus compression work.
-            MutexGuard::unlocked(st, || {
+            let built = MutexGuard::unlocked(st, || {
                 Db::write_memtable_to_table(&env, &opts, &imm, number)
-            })
-            .map(Some)?
+            });
+            match built {
+                Ok(meta) => Some(meta),
+                Err(e) => {
+                    // Don't leave the partial table for the GC sweep to
+                    // find — it is this attempt's orphan.
+                    let _ = env.delete(&table_file(number));
+                    return Err(e);
+                }
+            }
         };
 
         let mut edit = VersionEdit {
@@ -1060,8 +1183,11 @@ impl DbInner {
                 };
                 let executor = Arc::clone(&self.opts.executor);
                 let t0 = Instant::now();
-                let outputs = MutexGuard::unlocked(st, || executor.compact(&req))
-                    .map_err(|e| io::Error::other(e.to_string()))?;
+                // On failure the executor has already swept its partial
+                // outputs; the error kind survives so transient faults can
+                // be retried by run_with_retry.
+                let outputs =
+                    MutexGuard::unlocked(st, || executor.compact(&req)).map_err(table_to_io)?;
                 let elapsed = t0.elapsed();
 
                 let input_bytes: u64 = inputs_upper
@@ -1083,7 +1209,16 @@ impl DbInner {
                     compact_pointers: vec![(level, pointer_key)],
                     ..Default::default()
                 };
-                st.versions.log_and_apply(edit)?;
+                if let Err(e) = st.versions.log_and_apply(edit) {
+                    // The new tables were written but never installed:
+                    // delete them now so a retry (which re-runs the merge
+                    // with fresh file numbers) doesn't accumulate orphans.
+                    for f in &outputs {
+                        self.cache.evict(f.number);
+                        let _ = self.env.delete(&table_file(f.number));
+                    }
+                    return Err(e);
+                }
                 self.metrics
                     .compaction_count
                     .fetch_add(1, AtomicOrdering::Relaxed);
@@ -1113,12 +1248,31 @@ impl DbInner {
             match parse_file_name(&name) {
                 Some((FileKind::Table, num)) if !live.contains(&num) => {
                     self.cache.evict(num);
-                    let _ = self.env.delete(&name);
+                    self.count_gc_delete(&name);
                 }
                 Some((FileKind::Wal, num)) if num < log_number && num != current_wal => {
-                    let _ = self.env.delete(&name);
+                    self.count_gc_delete(&name);
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// Deletes one obsolete file, counting the outcome. A failed delete is
+    /// not an error — the file is merely still on disk and the next sweep
+    /// retries it — but a rising error counter is how an operator notices
+    /// a filesystem that has stopped honouring deletes.
+    fn count_gc_delete(&self, name: &str) {
+        match self.env.delete(name) {
+            Ok(()) => {
+                self.metrics
+                    .gc_deleted_files
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics
+                    .gc_delete_errors
+                    .fetch_add(1, AtomicOrdering::Relaxed);
             }
         }
     }

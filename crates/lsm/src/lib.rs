@@ -36,7 +36,7 @@ pub mod wal;
 pub use compact::{
     CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
 };
-pub use db::{Db, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot, WriteBatch};
+pub use db::{Db, DbHealth, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot, WriteBatch};
 pub use edit::VersionEdit;
 pub use iter::{DbIter, LevelIter};
 pub use memtable::{Memtable, MemtableIter};

@@ -91,7 +91,7 @@ impl Memtable {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if (x as u32) % BRANCHING != 0 {
+            if !(x as u32).is_multiple_of(BRANCHING) {
                 break;
             }
             height += 1;
@@ -433,7 +433,7 @@ mod tests {
             x ^= x << 17;
             let key = format!("k{:03}", x % 500).into_bytes();
             seq += 1;
-            if x % 5 == 0 {
+            if x.is_multiple_of(5) {
                 mt.insert(&key, seq, ValueType::Deletion, b"");
                 model.insert(key, None);
             } else {

@@ -190,7 +190,7 @@ impl VersionSet {
             levels[*level].push(Arc::clone(file));
         }
         // Level 0: newest flush first (higher file number = newer).
-        levels[0].sort_by(|a, b| b.number.cmp(&a.number));
+        levels[0].sort_by_key(|f| std::cmp::Reverse(f.number));
         // Deeper levels: sorted by smallest key.
         for level in levels.iter_mut().skip(1) {
             level.sort_by(|a, b| internal_key_cmp(&a.smallest, &b.smallest));
@@ -212,9 +212,24 @@ impl VersionSet {
         }
         let next = Self::apply(&self.current, &edit);
         debug_assert!(next.check_invariants().is_ok(), "{:?}", next.check_invariants());
+        // A previous failed write abandoned the manifest (its tail may hold
+        // a torn record); start a fresh one with a full snapshot first.
+        if self.manifest.is_none() {
+            self.roll_manifest()?;
+        }
         let manifest = self.manifest.as_mut().expect("manifest open");
-        manifest.add_record(&edit.encode())?;
-        manifest.sync()?;
+        let write_result = manifest
+            .add_record(&edit.encode())
+            .and_then(|()| manifest.sync());
+        if let Err(e) = write_result {
+            // Nothing was installed, so the recoverable prefix of the
+            // manifest still matches our state — but appending after a
+            // possibly-torn record would hide every later edit from
+            // recovery. Abandon this manifest; the next attempt rolls a
+            // fresh one and repoints CURRENT atomically.
+            self.manifest = None;
+            return Err(e);
+        }
         if let Some(v) = edit.log_number {
             self.log_number = v;
         }

@@ -989,7 +989,7 @@ mod tests {
         assert!(TableReader::open(env.open("bad").unwrap()).is_err());
 
         let mut f = env.create("garbage").unwrap();
-        f.append(&vec![0xAB; 200]).unwrap();
+        f.append(&[0xAB; 200]).unwrap();
         f.sync().unwrap();
         drop(f);
         assert!(TableReader::open(env.open("garbage").unwrap()).is_err());

@@ -27,8 +27,10 @@
 pub mod alloc;
 pub mod device;
 pub mod env;
+pub mod fault_env;
 pub mod model;
 pub mod raid;
+pub mod retry;
 pub mod sim_env;
 pub mod stats;
 pub mod std_env;
@@ -36,6 +38,8 @@ pub mod trace;
 
 pub use device::{BlockDevice, SimDevice};
 pub use env::{Env, RandomReadFile, WritableFile};
+pub use fault_env::{FaultEnv, FaultKind, FaultOp, FaultStats};
+pub use retry::{is_transient, with_retry, RetryPolicy};
 pub use model::{HddModel, IoKind, LatencyModel, NullModel, SsdModel};
 pub use raid::Raid0;
 pub use sim_env::SimEnv;

@@ -409,8 +409,10 @@ mod tests {
     #[test]
     fn hdd_buffer_drains_over_time() {
         let m = HddModel::default();
-        let mut st = ModelState::default();
-        st.buffer_level = m.buffer_capacity;
+        let mut st = ModelState {
+            buffer_level: m.buffer_capacity,
+            ..Default::default()
+        };
         // One second at 120 MB/s drains well over 32 MiB.
         let t = m.service_time(IoKind::Write, 0, 4096, Duration::from_secs(1), &mut st);
         assert_eq!(t.stall, Duration::ZERO);

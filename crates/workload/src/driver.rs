@@ -149,7 +149,7 @@ mod tests {
         assert!(report.flush_count >= 1);
         // Everything written is readable.
         let mut keys = KeyGen::new(cfg.order, cfg.key_len, cfg.entries, cfg.seed);
-        let probe = keys.next();
+        let probe = keys.generate();
         assert!(db.get(&probe).unwrap().is_some());
     }
 }

@@ -118,7 +118,7 @@ impl KeyGen {
     }
 
     /// Convenience allocation of the next key.
-    pub fn next(&mut self) -> Vec<u8> {
+    pub fn generate(&mut self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.next_key(&mut buf);
         buf
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn sequential_keys_are_ordered_and_fixed_width() {
         let mut g = KeyGen::new(KeyOrder::Sequential, 16, 1000, 42);
-        let keys: Vec<Vec<u8>> = (0..100).map(|_| g.next()).collect();
+        let keys: Vec<Vec<u8>> = (0..100).map(|_| g.generate()).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
         assert!(keys.iter().all(|k| k.len() == 16));
     }
@@ -142,9 +142,9 @@ mod tests {
         let mut a = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 7);
         let mut b = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 7);
         let mut c = KeyGen::new(KeyOrder::UniformRandom, 16, 1 << 20, 8);
-        let ka: Vec<_> = (0..50).map(|_| a.next()).collect();
-        let kb: Vec<_> = (0..50).map(|_| b.next()).collect();
-        let kc: Vec<_> = (0..50).map(|_| c.next()).collect();
+        let ka: Vec<_> = (0..50).map(|_| a.generate()).collect();
+        let kb: Vec<_> = (0..50).map(|_| b.generate()).collect();
+        let kc: Vec<_> = (0..50).map(|_| c.generate()).collect();
         assert_eq!(ka, kb);
         assert_ne!(ka, kc);
     }
@@ -154,7 +154,7 @@ mod tests {
         let mut g = KeyGen::new(KeyOrder::UniformRandom, 16, 1_000_000, 3);
         let mut buckets = [0usize; 10];
         for _ in 0..10_000 {
-            let k = g.next();
+            let k = g.generate();
             let v: u64 = std::str::from_utf8(&k).unwrap().parse().unwrap();
             buckets[(v / 100_000) as usize] += 1;
         }
@@ -172,7 +172,7 @@ mod tests {
         let mut head = 0usize;
         let n = 20_000;
         for _ in 0..n {
-            let k = g.next();
+            let k = g.generate();
             let v: u64 = std::str::from_utf8(&k).unwrap().parse().unwrap();
             if v < 10_000 {
                 head += 1;
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn keys_wrap_within_space() {
         let mut g = KeyGen::new(KeyOrder::Sequential, 16, 10, 0);
-        let keys: Vec<Vec<u8>> = (0..25).map(|_| g.next()).collect();
+        let keys: Vec<Vec<u8>> = (0..25).map(|_| g.generate()).collect();
         assert_eq!(keys[0], keys[10]);
         assert_eq!(keys[5], keys[15]);
     }

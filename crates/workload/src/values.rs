@@ -55,7 +55,7 @@ impl ValueGen {
     }
 
     /// Convenience allocation of the next value.
-    pub fn next(&mut self) -> Vec<u8> {
+    pub fn generate(&mut self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.next_value(&mut buf);
         buf
@@ -80,7 +80,7 @@ mod tests {
         let mut g = ValueGen::new(120, ratio, 99);
         let mut data = Vec::new();
         for _ in 0..200 {
-            data.extend_from_slice(&g.next());
+            data.extend_from_slice(&g.generate());
         }
         let mut out = Vec::new();
         pcp_codec_compress(&data, &mut out);
@@ -111,26 +111,26 @@ mod tests {
         let mut a = ValueGen::new(100, 0.5, 1);
         let mut b = ValueGen::new(100, 0.5, 1);
         for _ in 0..50 {
-            let va = a.next();
+            let va = a.generate();
             assert_eq!(va.len(), 100);
-            assert_eq!(va, b.next());
+            assert_eq!(va, b.generate());
         }
     }
 
     #[test]
     fn extreme_ratios() {
         let mut full = ValueGen::new(64, 1.0, 1);
-        let v = full.next();
+        let v = full.generate();
         assert!(v.windows(21).any(|w| w == b"pipelined-compaction-"));
         let mut none = ValueGen::new(64, 0.0, 1);
-        let v = none.next();
+        let v = none.generate();
         assert_eq!(v.len(), 64);
     }
 
     #[test]
     fn zero_length_values() {
         let mut g = ValueGen::new(0, 0.5, 1);
-        assert!(g.next().is_empty());
+        assert!(g.generate().is_empty());
         assert!(g.is_empty());
     }
 }

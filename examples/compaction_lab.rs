@@ -24,7 +24,7 @@ fn build_inputs(env: &EnvRef, entries: usize) -> (Vec<Arc<TableReader>>, Vec<Arc
     let mk = |name: &str, n: usize, stride: u64, seq0: u64| {
         let f = env.create(name).unwrap();
         let mut b = TableBuilder::new(f, TableBuilderOptions::default());
-        let mut x = 0x1234_5678_9ABC_DEFu64;
+        let mut x = 0x0123_4567_89AB_CDEFu64;
         for i in 0..n {
             let ik = make_internal_key(
                 format!("{:016}", i as u64 * stride).as_bytes(),

@@ -1,5 +1,8 @@
 //! Disaster recovery: destroy the manifest, corrupt a table, and rebuild
 //! the database with `repair()` — then prove the surviving data is intact.
+//! A second act runs the engine over a fault-injecting filesystem: flaky
+//! writes are retried transparently, a dying disk latches a background
+//! error instead of panicking, and the frozen image reopens cleanly.
 //!
 //! ```sh
 //! cargo run --release --example disaster_recovery
@@ -8,7 +11,7 @@
 use pcp::core::PipelinedExec;
 use pcp::lsm::filename::CURRENT;
 use pcp::lsm::{repair, Db, Options};
-use pcp::storage::{EnvRef, SimDevice, SimEnv};
+use pcp::storage::{EnvRef, FaultEnv, FaultKind, FaultOp, SimDevice, SimEnv};
 use std::sync::Arc;
 
 fn opts() -> Options {
@@ -93,5 +96,74 @@ fn main() -> std::io::Result<()> {
         it.next();
     }
     println!("scan sees {live} live keys (8000 written; any gap is the quarantined table's share, minus WAL replay)");
+
+    fault_injection_smoke()
+}
+
+/// Act two: the same engine on a disk that misbehaves on purpose.
+fn fault_injection_smoke() -> std::io::Result<()> {
+    println!("\n--- fault-injection smoke ---");
+    let inner: EnvRef = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(1 << 30))));
+    let fault = FaultEnv::new(Arc::clone(&inner), 0xB0_5EED);
+    // A flaky disk: 2% of table flushes and syncs fail transiently, and
+    // the second table flush is guaranteed to hiccup so the demo always
+    // shows a retry.
+    fault
+        .set_probability(FaultOp::Flush, 0.02)
+        .set_probability(FaultOp::Sync, 0.02)
+        .set_probabilistic_kind(FaultKind::Transient)
+        .set_file_filter(".sst")
+        .schedule_on_file(FaultOp::Flush, 2, FaultKind::Transient, ".sst");
+    let env: EnvRef = Arc::new(fault.clone());
+
+    let db = Db::open(Arc::clone(&env), opts())?;
+    for i in 0..10_000u64 {
+        db.put(
+            format!("user/{:08}", i % 4000).as_bytes(),
+            format!("value-{i}-{}", "z".repeat(100)).as_bytes(),
+        )?;
+    }
+    db.flush()?;
+    db.wait_idle()?;
+    let stats = fault.stats();
+    println!(
+        "flaky disk survived: {} transient faults injected, {} background retries, health {:?}",
+        stats.transient,
+        db.metrics().bg_retries,
+        db.health()
+    );
+
+    // The disk dies for real: every table write now fails permanently.
+    fault
+        .set_probability(FaultOp::Flush, 1.0)
+        .set_probability(FaultOp::Sync, 1.0)
+        .set_probabilistic_kind(FaultKind::Permanent);
+    for i in 0..4000u64 {
+        if db
+            .put(format!("user/{:08}", i % 4000).as_bytes(), b"doomed")
+            .is_err()
+        {
+            break; // writes stall once the background error latches
+        }
+    }
+    let _ = db.flush();
+    let _ = db.wait_idle();
+    println!(
+        "dead disk handled: health {:?}, {} permanent faults",
+        db.health(),
+        fault.stats().permanent
+    );
+    drop(db);
+
+    // The data that reached the device is still there: reopen the inner
+    // image with the faults gone.
+    let db = Db::open(inner, opts())?;
+    let integrity = db.verify_integrity()?;
+    println!(
+        "reopened past the dead disk: integrity {} over {} tables, {:?}",
+        if integrity.is_healthy() { "healthy" } else { "BROKEN" },
+        integrity.tables,
+        db.health()
+    );
     Ok(())
 }

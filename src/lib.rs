@@ -56,7 +56,7 @@ pub use pcp_workload as workload;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use pcp_core::{PipelineConfig, PipelinedExec, ScpExec};
-    pub use pcp_lsm::{CompactionPolicy, Db, Options, WriteBatch};
-    pub use pcp_storage::{Env, HddModel, Raid0, SimDevice, SimEnv, SsdModel, StdFsEnv};
+    pub use pcp_lsm::{CompactionPolicy, Db, DbHealth, Options, WriteBatch};
+    pub use pcp_storage::{Env, FaultEnv, FaultKind, FaultOp, HddModel, Raid0, RetryPolicy, SimDevice, SimEnv, SsdModel, StdFsEnv};
     pub use pcp_workload::{run_inserts, KeyOrder, WorkloadConfig};
 }

@@ -35,7 +35,7 @@ fn apply_workload(db: &Db, ops: u64, seed: u64) -> BTreeMap<Vec<u8>, Vec<u8>> {
         x ^= x >> 7;
         x ^= x << 17;
         let key = format!("key{:05}", x % 3000).into_bytes();
-        if x % 11 == 0 {
+        if x.is_multiple_of(11) {
             db.delete(&key).unwrap();
             oracle.insert(key, None);
         } else {

@@ -15,14 +15,11 @@ use std::sync::Arc;
 
 const SUBTASK: u64 = 128 << 10;
 
+type Tables = Vec<Arc<TableReader>>;
+
 /// Builds a fixture on a traced RAM device; returns (trace handle, env,
 /// upper, lower).
-fn traced_fixture() -> (
-    Arc<TraceDevice>,
-    EnvRef,
-    Vec<Arc<TableReader>>,
-    Vec<Arc<TableReader>>,
-) {
+fn traced_fixture() -> (Arc<TraceDevice>, EnvRef, Tables, Tables) {
     let trace = Arc::new(TraceDevice::new(Arc::new(SimDevice::mem(1 << 30))));
     let device: DeviceRef = trace.clone();
     let env: EnvRef = Arc::new(SimEnv::new(device));

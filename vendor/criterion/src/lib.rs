@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the same macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! throughput annotations) but with a deliberately simple measurement
+//! loop: warm up briefly, run a fixed wall-clock budget, report mean
+//! iteration time and derived throughput. Good enough to keep the
+//! micro-benchmarks runnable and comparable run-to-run on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Work-size annotation used to derive throughput from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly within the time budget, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed calls to fault in caches/allocations.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters.max(1);
+    }
+
+    fn per_iter(&self) -> Duration {
+        self.elapsed / self.iters_done.max(1) as u32
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per > Duration::ZERO => {
+            format!(
+                "  {:8.1} MiB/s",
+                n as f64 / per.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if per > Duration::ZERO => {
+            format!("  {:8.0} elem/s", n as f64 / per.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:40} {:>12.3} µs/iter ({} iters){rate}",
+        per.as_secs_f64() * 1e6,
+        b.iters_done
+    );
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        report(&name.into(), &b, None);
+        self
+    }
+
+    /// Accepted for API compatibility; the simple runner ignores it.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work size used to derive throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the simple runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.into()), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

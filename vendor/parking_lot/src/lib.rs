@@ -1,0 +1,241 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's non-poisoning API:
+//! `lock()` returns the guard directly (a poisoned std lock is treated as
+//! acquired — the data is guarded by our own invariants, not by poison
+//! state), and `MutexGuard::unlocked` temporarily releases the lock.
+
+use std::sync;
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            lock: self,
+            inner: Some(guard),
+        }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]. The inner std guard is `Some` except for the
+/// window inside [`MutexGuard::unlocked`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Releases the lock, runs `f`, then reacquires it.
+    pub fn unlocked<F, R>(guard: &mut MutexGuard<'a, T>, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        guard.inner = None;
+        let result = f();
+        guard.inner = Some(match guard.lock.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+        result
+    }
+
+    fn std_guard(&mut self) -> sync::MutexGuard<'a, T> {
+        self.inner.take().expect("guard held")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard held")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard held")
+    }
+}
+
+/// A non-poisoning condition variable for [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.std_guard();
+        let reacquired = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(reacquired);
+    }
+
+    /// As [`Condvar::wait`] with a timeout; returns true when it timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let std_guard = guard.std_guard();
+        let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(reacquired);
+        result.timed_out()
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guard_roundtrip() {
+        let m = Mutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0));
+        let mut g = m.lock();
+        let m2 = Arc::clone(&m);
+        MutexGuard::unlocked(&mut g, move || {
+            // Must not deadlock: the lock is free inside the closure.
+            *m2.lock() = 7;
+        });
+        assert_eq!(*g, 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

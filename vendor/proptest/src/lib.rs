@@ -1,0 +1,564 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`, ranges / tuples /
+//! `prop::collection::vec` / `any::<T>()` / `prop_oneof!`, and the
+//! `prop_assert*` family. Inputs are generated from a deterministic
+//! per-test seed so failures are reproducible (re-run with
+//! `PROPTEST_SEED=<seed>`); there is **no shrinking** — a failing case
+//! reports its case index and seed instead.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// Mirror of proptest's `prop` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose length falls in `size`.
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: std::ops::Range<usize>,
+        ) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Index-into-a-collection helper.
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// A deferred collection index: generated unconstrained, resolved
+        /// against a concrete length with [`Index::index`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// This index resolved against a collection of `len` items.
+            /// Panics when `len == 0`, like the real crate.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
+
+    /// Per-type `ANY` constants.
+    pub mod num {
+        macro_rules! any_mod {
+            ($($m:ident => $t:ty),*) => {$(
+                /// Whole-domain strategy constant for the numeric type.
+                pub mod $m {
+                    use crate::{Strategy, TestRng};
+
+                    /// Whole-domain strategy.
+                    #[derive(Clone, Copy, Debug)]
+                    pub struct AnyStrategy;
+
+                    /// Generates any value of the type.
+                    pub const ANY: AnyStrategy = AnyStrategy;
+
+                    impl Strategy for AnyStrategy {
+                        type Value = $t;
+                        fn generate(&self, rng: &mut TestRng) -> $t {
+                            rng.next_u64() as $t
+                        }
+                    }
+                }
+            )*};
+        }
+        any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                 i8 => i8, i16 => i16, i32 => i32, i64 => i64);
+    }
+
+    /// Boolean strategy constant.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Whole-domain boolean strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct AnyStrategy;
+
+        /// Generates either boolean.
+        pub const ANY: AnyStrategy = AnyStrategy;
+
+        impl Strategy for AnyStrategy {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Runner knobs; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for syntax compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 48,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test deterministic base seed: FNV-1a of the test path, XORed with
+/// `PROPTEST_SEED` when set (for replaying a failure).
+pub fn base_seed(test_name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            h ^= v;
+        }
+    }
+    h
+}
+
+/// Runs `body` for each case with a deterministic RNG; panics with a
+/// reproducible case id on failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = base_seed(test_name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(seed ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest property `{test_name}` failed at case {case}/{} \
+                 (base seed {seed:#x}): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Property-test entry point; mirrors proptest's macro syntax.
+#[macro_export]
+macro_rules! proptest {
+    // With a config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, concat!(module_path!(), "::", stringify!($name)), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    // Without a config attribute.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Chooses uniformly among the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+/// Strategy built by [`prop_oneof!`]: a uniform choice among alternatives.
+pub struct OneOf<T> {
+    /// The alternatives.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, f in 0.25f64..0.75, b in 1u8..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_oneof_compose(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            pick in prop_oneof![Just(1u32), Just(2u32), 10u32..12],
+            sel in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(pick == 1 || pick == 2 || pick == 10 || pick == 11);
+            prop_assert!(sel.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+    }
+}
