@@ -70,6 +70,16 @@ pub struct Options {
     /// background flush/compaction paths. Non-transient failures are never
     /// retried; they latch the background-error state (see [`Db::health`]).
     pub retry: RetryPolicy,
+    /// Directory this database lives in, for constructors that build their
+    /// own [`pcp_storage::StdFsEnv`] (e.g. a sharded engine stamping one
+    /// subdirectory per shard). [`Db::open`] itself takes an explicit env
+    /// and treats this field as advisory.
+    pub dir: Option<std::path::PathBuf>,
+    /// Shared admission gate bounding how many databases compact at once
+    /// (see [`crate::CompactionLimiter`]). `None` means ungated. Flushes
+    /// are never gated — delaying a flush turns directly into writer
+    /// stalls.
+    pub compaction_limiter: Option<Arc<crate::CompactionLimiter>>,
 }
 
 impl Default for Options {
@@ -87,11 +97,35 @@ impl Default for Options {
             block_cache_bytes: 0,
             executor: Arc::new(SimpleMergeExec),
             retry: RetryPolicy::default(),
+            dir: None,
+            compaction_limiter: None,
         }
     }
 }
 
 impl Options {
+    /// Default options rooted at `dir` (see [`Options::dir`]).
+    pub fn with_dir(dir: impl Into<std::path::PathBuf>) -> Options {
+        Options {
+            dir: Some(dir.into()),
+            ..Options::default()
+        }
+    }
+
+    /// A copy of these options rebased into the subdirectory `name` of
+    /// [`Options::dir`] — how a sharded engine stamps per-shard
+    /// directories without hand-cloning every field.
+    ///
+    /// # Panics
+    /// Panics if `dir` is unset.
+    pub fn in_subdir(&self, name: impl AsRef<std::path::Path>) -> Options {
+        let base = self.dir.as_ref().expect("Options::dir is unset");
+        Options {
+            dir: Some(base.join(name)),
+            ..self.clone()
+        }
+    }
+
     fn table_opts(&self) -> TableBuilderOptions {
         TableBuilderOptions {
             block_size: self.block_bytes,
@@ -110,6 +144,24 @@ impl Options {
 #[derive(Debug, Default, Clone)]
 pub struct WriteBatch {
     entries: Vec<(ValueType, Vec<u8>, Vec<u8>)>,
+}
+
+/// One operation of a [`WriteBatch`], as yielded by [`WriteBatch::ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp<'a> {
+    /// Insert `key → value`.
+    Put { key: &'a [u8], value: &'a [u8] },
+    /// Remove `key`.
+    Delete { key: &'a [u8] },
+}
+
+impl<'a> BatchOp<'a> {
+    /// The key this operation touches.
+    pub fn key(&self) -> &'a [u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
 }
 
 impl WriteBatch {
@@ -138,6 +190,16 @@ impl WriteBatch {
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The queued operations, in insertion order — how a layer above
+    /// (e.g. a sharded engine fanning a batch out to sub-databases)
+    /// inspects a batch without re-encoding it.
+    pub fn ops(&self) -> impl Iterator<Item = BatchOp<'_>> + '_ {
+        self.entries.iter().map(|(t, k, v)| match t {
+            ValueType::Value => BatchOp::Put { key: k, value: v },
+            ValueType::Deletion => BatchOp::Delete { key: k },
+        })
     }
 
     fn encode(&self, first_sequence: SequenceNumber) -> Vec<u8> {
@@ -1031,7 +1093,41 @@ impl DbInner {
                 continue;
             }
             st.bg_active = true;
+            // Compactions (never flushes) pass through the shared
+            // cross-database admission gate. `bg_active` is set before the
+            // lock is released to queue for a permit, so `compact_range`
+            // cannot start concurrently; within one `Db` only this thread
+            // mutates the version set, so the pick stays valid across the
+            // wait.
+            let mut permit = None;
+            if !has_flush {
+                if let Some(limiter) = &self.opts.compaction_limiter {
+                    let limiter = Arc::clone(limiter);
+                    let acquired = MutexGuard::unlocked(&mut st, || {
+                        limiter.acquire(&|| self.shutdown.load(AtomicOrdering::SeqCst))
+                    });
+                    // While queued: shutdown may have begun, a memtable may
+                    // have filled (flushes take priority), or a WAL failure
+                    // may have latched. In each case give the slot back and
+                    // re-evaluate from the top.
+                    if !acquired {
+                        st.bg_active = false;
+                        self.done_cv.notify_all();
+                        continue;
+                    }
+                    if st.imm.is_some() || st.bg_error.is_some() {
+                        limiter.release();
+                        st.bg_active = false;
+                        self.done_cv.notify_all();
+                        continue;
+                    }
+                    permit = Some(limiter);
+                }
+            }
             let result = self.run_with_retry(&mut st, has_flush, pick);
+            if let Some(limiter) = permit {
+                limiter.release();
+            }
             if let Err(e) = result {
                 st.bg_error = Some(e.to_string());
             }

@@ -26,6 +26,7 @@ pub mod db;
 pub mod edit;
 pub mod filename;
 pub mod iter;
+pub mod limiter;
 pub mod memtable;
 pub mod repair;
 pub mod table_cache;
@@ -36,9 +37,13 @@ pub mod wal;
 pub use compact::{
     CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
 };
-pub use db::{Db, DbHealth, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot, WriteBatch};
+pub use db::{
+    BatchOp, Db, DbHealth, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot,
+    WriteBatch,
+};
 pub use edit::VersionEdit;
 pub use iter::{DbIter, LevelIter};
+pub use limiter::CompactionLimiter;
 pub use memtable::{Memtable, MemtableIter};
 pub use repair::{repair, RepairReport};
 pub use table_cache::TableCache;

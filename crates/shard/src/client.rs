@@ -1,0 +1,96 @@
+//! Blocking client for the KV service.
+//!
+//! One request in flight per connection (the framing is strictly
+//! request/response); open several clients for concurrency — the server
+//! is thread-per-connection, so each client gets its own service thread.
+
+use crate::proto::{read_frame, write_frame, BatchItem, Request, Response, ServiceStats};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected KV service client.
+pub struct KvClient {
+    stream: TcpStream,
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    match resp {
+        Response::Err(msg) => io::Error::other(format!("server error: {msg}")),
+        other => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {other:?}"),
+        ),
+    }
+}
+
+impl KvClient {
+    /// Connects to a running [`crate::KvServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<KvClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(KvClient { stream })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        self.stream.flush()?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })?;
+        Response::decode(&payload)
+    }
+
+    /// Reads `key`.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        match self.request(&Request::Get(key.to_vec()))? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Writes `key → value`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        match self.request(&Request::Put(key.to_vec(), value.to_vec()))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: &[u8]) -> io::Result<()> {
+        match self.request(&Request::Delete(key.to_vec()))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Applies `items` as one batch (atomic per shard, snapshot-atomic
+    /// across shards).
+    pub fn batch(&mut self, items: Vec<BatchItem>) -> io::Result<()> {
+        match self.request(&Request::Batch(items))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads up to `limit` entries with key `>= start`, in key order.
+    pub fn scan(&mut self, start: &[u8], limit: u64) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.request(&Request::Scan {
+            start: start.to_vec(),
+            limit,
+        })? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches service + engine statistics.
+    pub fn stats(&mut self) -> io::Result<ServiceStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The KV service wire protocol: checksummed, length-prefixed frames.
+//!
+//! A frame is
+//!
+//! ```text
+//! +--------------+------------------+----------------------------+
+//! | len: u32 LE  | payload: len B   | crc: u32 LE                |
+//! +--------------+------------------+----------------------------+
+//! ```
+//!
+//! where `crc` is the masked CRC-32C of the payload, using the same
+//! [`pcp_codec::crc32c`] + [`pcp_codec::mask_crc`] convention as the
+//! SSTable block trailer — a frame corrupted in flight or by a buggy
+//! client is rejected before it is interpreted. The payload is one
+//! message: an opcode byte followed by varint-length-prefixed fields
+//! ([`pcp_codec::put_u64`]).
+//!
+//! Requests: GET, PUT, DELETE, BATCH, SCAN, STATS.
+//! Responses: OK, VALUE, NOT_FOUND, ENTRIES, STATS, ERR.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// (defends the length prefix against garbage bytes).
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Largest entry count a single SCAN response will carry.
+pub const SCAN_LIMIT_MAX: u64 = 100_000;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// -- frame layer ----------------------------------------------------------
+
+/// Encodes `payload` as one frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = pcp_codec::mask_crc(pcp_codec::crc32c(payload));
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Writes `payload` as one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))
+}
+
+/// Blocking frame read. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; EOF inside a frame, a bad checksum, or an oversized length
+/// prefix are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!(),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    check_crc(&payload, u32::from_le_bytes(crc_buf))?;
+    Ok(Some(payload))
+}
+
+/// Extracts one complete frame from the front of `buf` if present,
+/// draining the consumed bytes — the incremental-read path for servers
+/// polling sockets with a timeout.
+pub fn take_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let total = 4 + len + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = buf[4..4 + len].to_vec();
+    let crc = u32::from_le_bytes(buf[4 + len..total].try_into().unwrap());
+    check_crc(&payload, crc)?;
+    buf.drain(..total);
+    Ok(Some(payload))
+}
+
+fn check_crc(payload: &[u8], got: u32) -> io::Result<()> {
+    let want = pcp_codec::mask_crc(pcp_codec::crc32c(payload));
+    if got != want {
+        return Err(bad("frame checksum mismatch"));
+    }
+    Ok(())
+}
+
+// -- field helpers ---------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    pcp_codec::put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn take_u64(input: &mut &[u8]) -> io::Result<u64> {
+    let (v, n) = pcp_codec::decode_u64(input).map_err(|_| bad("truncated varint"))?;
+    *input = &input[n..];
+    Ok(v)
+}
+
+fn take_bytes(input: &mut &[u8]) -> io::Result<Vec<u8>> {
+    let len = take_u64(input)? as usize;
+    if input.len() < len {
+        return Err(bad("truncated byte field"));
+    }
+    let (head, rest) = input.split_at(len);
+    *input = rest;
+    Ok(head.to_vec())
+}
+
+fn take_u8(input: &mut &[u8]) -> io::Result<u8> {
+    let (&b, rest) = input.split_first().ok_or_else(|| bad("truncated opcode"))?;
+    *input = rest;
+    Ok(b)
+}
+
+// -- messages --------------------------------------------------------------
+
+mod op {
+    pub const GET: u8 = 0x01;
+    pub const PUT: u8 = 0x02;
+    pub const DELETE: u8 = 0x03;
+    pub const BATCH: u8 = 0x04;
+    pub const SCAN: u8 = 0x05;
+    pub const STATS: u8 = 0x06;
+
+    pub const OK: u8 = 0x80;
+    pub const VALUE: u8 = 0x81;
+    pub const NOT_FOUND: u8 = 0x82;
+    pub const ENTRIES: u8 = 0x83;
+    pub const STATS_REPLY: u8 = 0x84;
+    pub const ERR: u8 = 0x85;
+
+    pub const ITEM_PUT: u8 = 0x00;
+    pub const ITEM_DELETE: u8 = 0x01;
+}
+
+/// One operation of a BATCH request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    /// Insert `key → value`.
+    Put(Vec<u8>, Vec<u8>),
+    /// Remove `key`.
+    Delete(Vec<u8>),
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read one key.
+    Get(Vec<u8>),
+    /// Write one key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete one key.
+    Delete(Vec<u8>),
+    /// Apply several operations (atomic per shard, snapshot-atomic across
+    /// shards).
+    Batch(Vec<BatchItem>),
+    /// Read up to `limit` entries with key `>= start`, in key order.
+    Scan { start: Vec<u8>, limit: u64 },
+    /// Fetch service + engine statistics.
+    Stats,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write acknowledged.
+    Ok,
+    /// GET hit.
+    Value(Vec<u8>),
+    /// GET miss.
+    NotFound,
+    /// SCAN result, in key order.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// STATS result.
+    Stats(ServiceStats),
+    /// The request failed; human-readable reason.
+    Err(String),
+}
+
+/// Service-level and engine-level counters returned by STATS.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests served (all opcodes, successful or not).
+    pub ops: u64,
+    /// Requests that returned [`Response::Err`].
+    pub errors: u64,
+    /// Shards behind this service.
+    pub shards: u64,
+    /// Engine put count, summed over shards.
+    pub engine_puts: u64,
+    /// Engine get count, summed over shards.
+    pub engine_gets: u64,
+    /// Memtable flushes, summed over shards.
+    pub flushes: u64,
+    /// Compactions, summed over shards.
+    pub compactions: u64,
+    /// Server-side p99 of read-class ops (GET/SCAN), nanoseconds.
+    pub read_p99_nanos: u64,
+    /// Server-side p99 of write-class ops (PUT/DELETE/BATCH), nanoseconds.
+    pub write_p99_nanos: u64,
+    /// Engine put count per shard — the per-shard load balance.
+    pub per_shard_puts: Vec<u64>,
+}
+
+impl Request {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Get(key) => {
+                out.push(op::GET);
+                put_bytes(&mut out, key);
+            }
+            Request::Put(key, value) => {
+                out.push(op::PUT);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            Request::Delete(key) => {
+                out.push(op::DELETE);
+                put_bytes(&mut out, key);
+            }
+            Request::Batch(items) => {
+                out.push(op::BATCH);
+                pcp_codec::put_u64(&mut out, items.len() as u64);
+                for item in items {
+                    match item {
+                        BatchItem::Put(k, v) => {
+                            out.push(op::ITEM_PUT);
+                            put_bytes(&mut out, k);
+                            put_bytes(&mut out, v);
+                        }
+                        BatchItem::Delete(k) => {
+                            out.push(op::ITEM_DELETE);
+                            put_bytes(&mut out, k);
+                        }
+                    }
+                }
+            }
+            Request::Scan { start, limit } => {
+                out.push(op::SCAN);
+                put_bytes(&mut out, start);
+                pcp_codec::put_u64(&mut out, *limit);
+            }
+            Request::Stats => out.push(op::STATS),
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut input = payload;
+        let opcode = take_u8(&mut input)?;
+        let req = match opcode {
+            op::GET => Request::Get(take_bytes(&mut input)?),
+            op::PUT => {
+                let k = take_bytes(&mut input)?;
+                let v = take_bytes(&mut input)?;
+                Request::Put(k, v)
+            }
+            op::DELETE => Request::Delete(take_bytes(&mut input)?),
+            op::BATCH => {
+                let count = take_u64(&mut input)?;
+                if count > MAX_FRAME as u64 {
+                    return Err(bad("batch count exceeds frame bound"));
+                }
+                let mut items = Vec::with_capacity(count.min(1024) as usize);
+                for _ in 0..count {
+                    match take_u8(&mut input)? {
+                        op::ITEM_PUT => {
+                            let k = take_bytes(&mut input)?;
+                            let v = take_bytes(&mut input)?;
+                            items.push(BatchItem::Put(k, v));
+                        }
+                        op::ITEM_DELETE => items.push(BatchItem::Delete(take_bytes(&mut input)?)),
+                        t => return Err(bad(format!("unknown batch item tag {t:#04x}"))),
+                    }
+                }
+                Request::Batch(items)
+            }
+            op::SCAN => {
+                let start = take_bytes(&mut input)?;
+                let limit = take_u64(&mut input)?;
+                Request::Scan { start, limit }
+            }
+            op::STATS => Request::Stats,
+            t => return Err(bad(format!("unknown request opcode {t:#04x}"))),
+        };
+        if !input.is_empty() {
+            return Err(bad("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok => out.push(op::OK),
+            Response::Value(v) => {
+                out.push(op::VALUE);
+                put_bytes(&mut out, v);
+            }
+            Response::NotFound => out.push(op::NOT_FOUND),
+            Response::Entries(entries) => {
+                out.push(op::ENTRIES);
+                pcp_codec::put_u64(&mut out, entries.len() as u64);
+                for (k, v) in entries {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+            }
+            Response::Stats(s) => {
+                out.push(op::STATS_REPLY);
+                for v in [
+                    s.ops,
+                    s.errors,
+                    s.shards,
+                    s.engine_puts,
+                    s.engine_gets,
+                    s.flushes,
+                    s.compactions,
+                    s.read_p99_nanos,
+                    s.write_p99_nanos,
+                ] {
+                    pcp_codec::put_u64(&mut out, v);
+                }
+                pcp_codec::put_u64(&mut out, s.per_shard_puts.len() as u64);
+                for v in &s.per_shard_puts {
+                    pcp_codec::put_u64(&mut out, *v);
+                }
+            }
+            Response::Err(msg) => {
+                out.push(op::ERR);
+                put_bytes(&mut out, msg.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut input = payload;
+        let opcode = take_u8(&mut input)?;
+        let resp = match opcode {
+            op::OK => Response::Ok,
+            op::VALUE => Response::Value(take_bytes(&mut input)?),
+            op::NOT_FOUND => Response::NotFound,
+            op::ENTRIES => {
+                let count = take_u64(&mut input)?;
+                if count > SCAN_LIMIT_MAX {
+                    return Err(bad("entry count exceeds scan bound"));
+                }
+                let mut entries = Vec::with_capacity(count.min(1024) as usize);
+                for _ in 0..count {
+                    let k = take_bytes(&mut input)?;
+                    let v = take_bytes(&mut input)?;
+                    entries.push((k, v));
+                }
+                Response::Entries(entries)
+            }
+            op::STATS_REPLY => {
+                let mut next = || take_u64(&mut input);
+                let s = ServiceStats {
+                    ops: next()?,
+                    errors: next()?,
+                    shards: next()?,
+                    engine_puts: next()?,
+                    engine_gets: next()?,
+                    flushes: next()?,
+                    compactions: next()?,
+                    read_p99_nanos: next()?,
+                    write_p99_nanos: next()?,
+                    per_shard_puts: Vec::new(),
+                };
+                let n = take_u64(&mut input)?;
+                if n > 1 << 20 {
+                    return Err(bad("absurd shard count in stats"));
+                }
+                let mut s = s;
+                for _ in 0..n {
+                    s.per_shard_puts.push(take_u64(&mut input)?);
+                }
+                Response::Stats(s)
+            }
+            op::ERR => {
+                let msg = take_bytes(&mut input)?;
+                Response::Err(String::from_utf8_lossy(&msg).into_owned())
+            }
+            t => return Err(bad(format!("unknown response opcode {t:#04x}"))),
+        };
+        if !input.is_empty() {
+            return Err(bad("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        // And through the frame layer.
+        let mut cursor = io::Cursor::new(encode_frame(&payload));
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Get(b"k".to_vec()));
+        roundtrip_request(Request::Put(b"key".to_vec(), vec![0u8; 300]));
+        roundtrip_request(Request::Delete(Vec::new()));
+        roundtrip_request(Request::Batch(vec![
+            BatchItem::Put(b"a".to_vec(), b"1".to_vec()),
+            BatchItem::Delete(b"b".to_vec()),
+            BatchItem::Put(Vec::new(), Vec::new()),
+        ]));
+        roundtrip_request(Request::Scan {
+            start: b"user/".to_vec(),
+            limit: 500,
+        });
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for resp in [
+            Response::Ok,
+            Response::Value(b"v".to_vec()),
+            Response::NotFound,
+            Response::Entries(vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), Vec::new()),
+            ]),
+            Response::Stats(ServiceStats {
+                ops: 1000,
+                errors: 2,
+                shards: 4,
+                engine_puts: 700,
+                engine_gets: 300,
+                flushes: 12,
+                compactions: 5,
+                read_p99_nanos: 180_000,
+                write_p99_nanos: 95_000,
+                per_shard_puts: vec![170, 180, 175, 175],
+            }),
+            Response::Err("shard 2 wedged".into()),
+        ] {
+            let payload = resp.encode();
+            assert_eq!(Response::decode(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected() {
+        let mut frame = encode_frame(&Request::Get(b"k".to_vec()).encode());
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x40;
+        let err = read_frame(&mut io::Cursor::new(frame)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let frame = encode_frame(b"payload");
+        let cut = &frame[..frame.len() - 2];
+        assert!(read_frame(&mut io::Cursor::new(cut.to_vec())).is_err());
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut io::Cursor::new(empty.to_vec()))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 64]);
+        assert!(read_frame(&mut io::Cursor::new(frame)).is_err());
+    }
+
+    #[test]
+    fn take_frame_handles_partial_and_multiple() {
+        let a = encode_frame(b"first");
+        let b = encode_frame(b"second");
+        let mut buf = Vec::new();
+        // Nothing yet.
+        assert!(take_frame(&mut buf).unwrap().is_none());
+        // Half of frame a: still nothing, nothing consumed.
+        buf.extend_from_slice(&a[..5]);
+        assert!(take_frame(&mut buf).unwrap().is_none());
+        assert_eq!(buf.len(), 5);
+        // The rest of a plus all of b: both extractable in order.
+        buf.extend_from_slice(&a[5..]);
+        buf.extend_from_slice(&b);
+        assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"first");
+        assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"second");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn garbage_requests_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x7f]).is_err());
+        // PUT with a key length pointing past the end.
+        assert!(Request::decode(&[op::PUT, 0x20, b'x']).is_err());
+        // Valid GET with trailing junk.
+        let mut p = Request::Get(b"k".to_vec()).encode();
+        p.push(0);
+        assert!(Request::decode(&p).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Thread-per-connection TCP front end over a [`ShardedDb`].
+//!
+//! Deliberately boring networking: `std::net` blocking sockets, one
+//! thread per connection, a short read timeout so every thread notices
+//! the shutdown flag promptly. The interesting state — memtables, WALs,
+//! compaction pipelines — all lives below, in the sharded engine; the
+//! service layer only frames requests, routes them, and measures them
+//! (per-op latency through [`pcp_workload::LatencyHistogram`], the same
+//! histogram the workload drivers report with).
+
+use crate::proto::{
+    take_frame, write_frame, Request, Response, ServiceStats, SCAN_LIMIT_MAX,
+};
+use crate::sharded::ShardedDb;
+use crate::BatchItem;
+use parking_lot::Mutex;
+use pcp_lsm::WriteBatch;
+use pcp_workload::LatencyHistogram;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct ServerShared {
+    db: Arc<ShardedDb>,
+    /// Generation counter doubling as the shutdown flag: odd = draining.
+    shutdown: std::sync::atomic::AtomicBool,
+    ops: AtomicU64,
+    errors: AtomicU64,
+    active_conns: AtomicUsize,
+    read_latency: LatencyHistogram,
+    write_latency: LatencyHistogram,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let engine = self.db.metrics();
+        ServiceStats {
+            ops: self.ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shards: self.db.shard_count() as u64,
+            engine_puts: engine.puts,
+            engine_gets: engine.gets,
+            flushes: engine.flush_count,
+            compactions: engine.compaction_count,
+            read_p99_nanos: self.read_latency.quantile(0.99).as_nanos() as u64,
+            write_p99_nanos: self.write_latency.quantile(0.99).as_nanos() as u64,
+            per_shard_puts: self.db.shard_metrics().iter().map(|m| m.puts).collect(),
+        }
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let result = match req {
+            Request::Get(key) => match self.db.get(&key) {
+                Ok(Some(v)) => Ok((Response::Value(v), &self.read_latency)),
+                Ok(None) => Ok((Response::NotFound, &self.read_latency)),
+                Err(e) => Err(e),
+            },
+            Request::Put(key, value) => self
+                .db
+                .put(&key, &value)
+                .map(|()| (Response::Ok, &self.write_latency)),
+            Request::Delete(key) => self
+                .db
+                .delete(&key)
+                .map(|()| (Response::Ok, &self.write_latency)),
+            Request::Batch(items) => {
+                let mut batch = WriteBatch::new();
+                for item in &items {
+                    match item {
+                        BatchItem::Put(k, v) => batch.put(k, v),
+                        BatchItem::Delete(k) => batch.delete(k),
+                    }
+                }
+                self.db
+                    .write(batch)
+                    .map(|()| (Response::Ok, &self.write_latency))
+            }
+            Request::Scan { start, limit } => {
+                let limit = limit.min(SCAN_LIMIT_MAX) as usize;
+                Ok((
+                    Response::Entries(self.db.scan(&start, limit)),
+                    &self.read_latency,
+                ))
+            }
+            Request::Stats => Ok((Response::Stats(self.stats()), &self.read_latency)),
+        };
+        match result {
+            Ok((resp, histogram)) => {
+                histogram.record(t0.elapsed());
+                resp
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(e.to_string())
+            }
+        }
+    }
+}
+
+/// A running KV service; dropping it (or calling
+/// [`KvServer::shutdown`]) drains connections and joins every thread.
+pub struct KvServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `db`.
+    pub fn start(db: Arc<ShardedDb>, addr: impl ToSocketAddrs) -> io::Result<KvServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            db,
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("pcp-kv-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(KvServer {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Server-side view of the same statistics STATS returns.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins every
+    /// service thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
+        for t in conns {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            return;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("pcp-kv-conn".into())
+            .spawn(move || {
+                conn_shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let _ = serve_connection(stream, &conn_shared);
+                conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection thread");
+        shared.conns.lock().push(handle);
+    }
+}
+
+/// Serves one connection until the peer disconnects, a protocol error
+/// occurs, or the server shuts down.
+fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
+    // A finite read timeout turns the blocking read into a poll, so this
+    // thread observes shutdown even when its client is idle. A mid-frame
+    // timeout is harmless: bytes already read sit in `buf` and the next
+    // read continues where it left off.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true).ok();
+    let mut buf: Vec<u8> = Vec::with_capacity(16 << 10);
+    let mut chunk = [0u8; 16 << 10];
+    loop {
+        while let Some(payload) = take_frame(&mut buf)? {
+            let response = match Request::decode(&payload) {
+                Ok(req) => shared.handle(req),
+                Err(e) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Err(format!("bad request: {e}"))
+                }
+            };
+            write_frame(&mut stream, &response.encode())?;
+        }
+        if shared.shutting_down() {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}

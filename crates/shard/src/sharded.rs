@@ -1,0 +1,479 @@
+//! The range-sharded multi-database engine.
+//!
+//! [`ShardedDb`] partitions the keyspace across N independent
+//! [`pcp_lsm::Db`] instances through a pluggable [`Router`]. Because the
+//! shards' key ranges are disjoint, every shard runs its own memtable,
+//! WAL, flush, and compaction pipeline with zero cross-shard coordination
+//! — the paper's "disjoint sub-key ranges have no data dependencies"
+//! argument applied at engine scale. Two places *do* coordinate:
+//!
+//! * **Snapshots.** A [`ShardSnapshot`] is a vector of per-shard sequence
+//!   numbers taken under a lock that excludes in-flight cross-shard
+//!   batches, so a multi-shard [`WriteBatch`] is either entirely visible
+//!   or entirely invisible to any snapshot (writers share the lock;
+//!   only snapshot acquisition is exclusive, and only for the microseconds
+//!   it takes to read N sequence counters).
+//! * **Compaction admission.** All shards share one
+//!   [`pcp_lsm::CompactionLimiter`] capping concurrently compacting
+//!   shards to the available cores — the C-PPCP resource argument across
+//!   shards: more simultaneous compactions than cores just interleave
+//!   their compute stages.
+
+use crate::router::Router;
+use parking_lot::RwLock;
+use pcp_lsm::{
+    BatchOp, CompactionLimiter, Db, DbHealth, DbIter, MetricsSnapshot, Options, Snapshot,
+    WriteBatch, NUM_LEVELS,
+};
+use pcp_sstable::{KvIter, MergingIter};
+use pcp_storage::{EnvRef, StdFsEnv};
+use std::cmp::Ordering;
+use std::io;
+use std::sync::Arc;
+
+/// Aggregated health over every shard (see [`pcp_lsm::DbHealth`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedHealth {
+    /// Every shard's background maintenance is running normally.
+    Ok,
+    /// At least one shard has latched a background error; `shard` is the
+    /// lowest-numbered wedged shard, so an operator knows which
+    /// subdirectory / device to inspect.
+    ShardError { shard: usize, error: String },
+}
+
+impl ShardedHealth {
+    /// True when no shard has latched an error.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ShardedHealth::Ok)
+    }
+}
+
+/// A consistent cross-shard read view: one registered snapshot per shard,
+/// taken atomically with respect to cross-shard batches.
+pub struct ShardSnapshot {
+    shards: Vec<Snapshot>,
+}
+
+impl ShardSnapshot {
+    /// The per-shard sequence vector this snapshot reads at.
+    pub fn sequences(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.sequence).collect()
+    }
+}
+
+/// A keyspace partitioned over N independent [`Db`] instances.
+pub struct ShardedDb {
+    shards: Vec<Db>,
+    router: Arc<dyn Router>,
+    /// Writers hold `read` while applying a batch; snapshot acquisition
+    /// holds `write` while reading the sequence vector. See module docs.
+    snap_lock: RwLock<()>,
+    limiter: Arc<CompactionLimiter>,
+}
+
+impl std::fmt::Debug for ShardedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("shards", &self.shards.len())
+            .field("router", &self.router)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedDb {
+    /// Opens (creating or recovering) one database per shard in
+    /// subdirectories `shard-000`, `shard-001`, … of `base.dir`, on real
+    /// files ([`StdFsEnv`]).
+    ///
+    /// Requires `base.dir` (see [`Options::with_dir`]).
+    pub fn open(base: Options, router: Arc<dyn Router>) -> io::Result<ShardedDb> {
+        if base.dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ShardedDb::open needs Options::with_dir; \
+                 use open_with_envs for explicit environments",
+            ));
+        }
+        let envs = (0..router.shards())
+            .map(|i| {
+                let opts = base.in_subdir(format!("shard-{i:03}"));
+                let env: EnvRef = Arc::new(StdFsEnv::new(opts.dir.as_ref().unwrap())?);
+                Ok(env)
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Self::open_with_envs(envs, base, router)
+    }
+
+    /// Opens one database per environment in `envs` (`envs.len()` must
+    /// equal `router.shards()`). This is the constructor for simulated or
+    /// fault-injected shards.
+    pub fn open_with_envs(
+        envs: Vec<EnvRef>,
+        base: Options,
+        router: Arc<dyn Router>,
+    ) -> io::Result<ShardedDb> {
+        let n = router.shards();
+        if n == 0 || envs.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("router wants {n} shards, got {} environments", envs.len()),
+            ));
+        }
+        // One admission gate for the whole engine; a caller-provided
+        // limiter (shared wider still, or sized for a test) wins.
+        let limiter = base
+            .compaction_limiter
+            .clone()
+            .unwrap_or_else(|| CompactionLimiter::for_shards(n));
+        let shards = envs
+            .into_iter()
+            .enumerate()
+            .map(|(i, env)| {
+                let mut opts = base.clone();
+                opts.compaction_limiter = Some(Arc::clone(&limiter));
+                if opts.dir.is_some() {
+                    opts = opts.in_subdir(format!("shard-{i:03}"));
+                }
+                Db::open(env, opts)
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ShardedDb {
+            shards,
+            router,
+            snap_lock: RwLock::new(()),
+            limiter,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let s = self.router.shard_of(key);
+        debug_assert!(s < self.shards.len(), "router returned {s}");
+        s.min(self.shards.len() - 1)
+    }
+
+    /// The shared compaction admission gate.
+    pub fn limiter(&self) -> &Arc<CompactionLimiter> {
+        &self.limiter
+    }
+
+    /// Direct access to one shard's database (diagnostics and tests).
+    pub fn shard(&self, i: usize) -> &Db {
+        &self.shards[i]
+    }
+
+    // -- write path -------------------------------------------------------
+
+    /// Inserts `key → value` on the owning shard.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let _g = self.snap_lock.read();
+        self.shards[self.shard_of(key)].put(key, value)
+    }
+
+    /// Deletes `key` on the owning shard.
+    pub fn delete(&self, key: &[u8]) -> io::Result<()> {
+        let _g = self.snap_lock.read();
+        self.shards[self.shard_of(key)].delete(key)
+    }
+
+    /// Applies a batch, fanning entries out to their owning shards. Each
+    /// sub-batch is atomic within its shard (one WAL record), and the
+    /// whole batch is atomic with respect to [`ShardedDb::snapshot`]: no
+    /// snapshot can observe some sub-batches applied and others not.
+    ///
+    /// Atomicity under *failure* is per shard: if one shard's WAL rejects
+    /// its sub-batch mid-fan-out, earlier sub-batches stay applied and the
+    /// error is returned (and latched in that shard's health).
+    pub fn write(&self, batch: WriteBatch) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut subs: Vec<WriteBatch> = vec![WriteBatch::new(); self.shards.len()];
+        for op in batch.ops() {
+            match op {
+                BatchOp::Put { key, value } => subs[self.shard_of(key)].put(key, value),
+                BatchOp::Delete { key } => subs[self.shard_of(key)].delete(key),
+            }
+        }
+        let _g = self.snap_lock.read();
+        for (shard, sub) in self.shards.iter().zip(subs) {
+            if !sub.is_empty() {
+                shard.write(sub)?;
+            }
+        }
+        Ok(())
+    }
+
+    // -- read path --------------------------------------------------------
+
+    /// Reads the newest visible value for `key` from its owning shard.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Registers a consistent cross-shard snapshot.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let _g = self.snap_lock.write();
+        ShardSnapshot {
+            shards: self.shards.iter().map(|db| db.snapshot()).collect(),
+        }
+    }
+
+    /// Reads `key` at a [`ShardSnapshot`].
+    pub fn get_at(&self, key: &[u8], snapshot: &ShardSnapshot) -> io::Result<Option<Vec<u8>>> {
+        let s = self.shard_of(key);
+        self.shards[s].get_at(key, snapshot.shards[s].sequence)
+    }
+
+    /// Merged scan cursor over every shard at the latest consistent view.
+    pub fn iter(&self) -> ShardedIter {
+        self.iter_at(&self.snapshot())
+    }
+
+    /// Merged scan cursor at an explicit snapshot. Built on the same
+    /// k-way [`MergingIter`] the engine uses for compaction and reads —
+    /// here over per-shard user-key cursors, whose key sets are disjoint
+    /// by construction.
+    pub fn iter_at(&self, snapshot: &ShardSnapshot) -> ShardedIter {
+        let children: Vec<Box<dyn KvIter>> = self
+            .shards
+            .iter()
+            .zip(&snapshot.shards)
+            .map(|(db, snap)| {
+                Box::new(ShardCursor(db.iter_at(snap.sequence))) as Box<dyn KvIter>
+            })
+            .collect();
+        ShardedIter {
+            merged: MergingIter::new(children, user_key_cmp),
+        }
+    }
+
+    /// Collects up to `limit` live entries with key `>= start`, in key
+    /// order across all shards.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut it = self.iter();
+        it.seek(start);
+        let mut out = Vec::new();
+        while it.valid() && out.len() < limit {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    // -- maintenance and observability ------------------------------------
+
+    /// Forces every shard's memtable out to level 0 and waits.
+    pub fn flush(&self) -> io::Result<()> {
+        for db in &self.shards {
+            db.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until no shard has flush or compaction work remaining.
+    pub fn wait_idle(&self) -> io::Result<()> {
+        for db in &self.shards {
+            db.wait_idle()?;
+        }
+        Ok(())
+    }
+
+    /// Synchronously compacts `[lo, hi]` on every shard overlapping it.
+    pub fn compact_range(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> io::Result<()> {
+        for db in &self.shards {
+            db.compact_range(lo, hi)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated health: [`ShardedHealth::Ok`], or the first latched
+    /// background error tagged with its shard index.
+    pub fn health(&self) -> ShardedHealth {
+        for (i, db) in self.shards.iter().enumerate() {
+            if let DbHealth::BackgroundError(error) = db.health() {
+                return ShardedHealth::ShardError { shard: i, error };
+            }
+        }
+        ShardedHealth::Ok
+    }
+
+    /// Engine counters summed over every shard.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for db in &self.shards {
+            merge_metrics(&mut total, &db.metrics());
+        }
+        total
+    }
+
+    /// Per-shard engine counters, indexed by shard.
+    pub fn shard_metrics(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|db| db.metrics()).collect()
+    }
+
+    /// Per-level (file count, bytes) summed over every shard.
+    pub fn level_summary(&self) -> Vec<(usize, u64)> {
+        let mut total = vec![(0usize, 0u64); NUM_LEVELS];
+        for db in &self.shards {
+            for (level, (files, bytes)) in db.level_summary().into_iter().enumerate() {
+                total[level].0 += files;
+                total[level].1 += bytes;
+            }
+        }
+        total
+    }
+
+    /// Estimated on-disk bytes for `[lo, hi]`, summed over every shard.
+    pub fn approximate_size(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> u64 {
+        self.shards
+            .iter()
+            .map(|db| db.approximate_size(lo, hi))
+            .sum()
+    }
+
+    /// Human-readable multi-shard summary for diagnostics.
+    pub fn debug_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== pcp-shard engine: {} shards, {} compaction permits (peak {}) ===",
+            self.shards.len(),
+            self.limiter.permits(),
+            self.limiter.peak(),
+        );
+        for (i, db) in self.shards.iter().enumerate() {
+            let m = db.metrics();
+            let _ = writeln!(
+                out,
+                "  shard {i:3}: {:8} puts {:8} gets  {:3} flushes {:3} compactions  health {:?}",
+                m.puts, m.gets, m.flush_count, m.compaction_count, db.health(),
+            );
+        }
+        out
+    }
+}
+
+/// Bytewise user-key order (the cross-shard merge operates on the user
+/// keys that [`DbIter`] yields, not internal keys).
+fn user_key_cmp(a: &[u8], b: &[u8]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Adapts a shard's [`DbIter`] (user keys, live values) to the [`KvIter`]
+/// protocol so [`MergingIter`] can drive it.
+struct ShardCursor(DbIter);
+
+impl KvIter for ShardCursor {
+    fn valid(&self) -> bool {
+        self.0.valid()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.0.seek_to_first();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.0.seek(target);
+    }
+
+    fn next(&mut self) {
+        self.0.next();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.0.key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.0.value()
+    }
+}
+
+/// Snapshot-consistent scan cursor over every shard, in global key order.
+pub struct ShardedIter {
+    merged: MergingIter,
+}
+
+impl ShardedIter {
+    /// True if positioned on a live entry.
+    pub fn valid(&self) -> bool {
+        self.merged.valid()
+    }
+
+    /// Positions at the first live key of the whole keyspace.
+    pub fn seek_to_first(&mut self) {
+        self.merged.seek_to_first();
+    }
+
+    /// Positions at the first live key `>= target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.merged.seek(target);
+    }
+
+    /// Advances one entry. Requires `valid()`.
+    pub fn next(&mut self) {
+        self.merged.next();
+    }
+
+    /// Current user key. Requires `valid()`.
+    pub fn key(&self) -> &[u8] {
+        self.merged.key()
+    }
+
+    /// Current value. Requires `valid()`.
+    pub fn value(&self) -> &[u8] {
+        self.merged.value()
+    }
+}
+
+fn merge_metrics(total: &mut MetricsSnapshot, m: &MetricsSnapshot) {
+    total.puts += m.puts;
+    total.gets += m.gets;
+    total.stall_events += m.stall_events;
+    total.stall_time += m.stall_time;
+    total.slowdown_events += m.slowdown_events;
+    total.flush_count += m.flush_count;
+    total.flush_bytes += m.flush_bytes;
+    total.compaction_count += m.compaction_count;
+    total.compaction_input_bytes += m.compaction_input_bytes;
+    total.compaction_output_bytes += m.compaction_output_bytes;
+    total.compaction_time += m.compaction_time;
+    total.trivial_moves += m.trivial_moves;
+    total.gc_deleted_files += m.gc_deleted_files;
+    total.gc_delete_errors += m.gc_delete_errors;
+    total.bg_retries += m.bg_retries;
+}
+
+impl pcp_workload::KvStore for ShardedDb {
+    fn put(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        ShardedDb::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        ShardedDb::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) -> io::Result<()> {
+        ShardedDb::delete(self, key)
+    }
+
+    fn write(&self, batch: WriteBatch) -> io::Result<()> {
+        ShardedDb::write(self, batch)
+    }
+
+    fn wait_idle(&self) -> io::Result<()> {
+        ShardedDb::wait_idle(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedDb::metrics(self)
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end test of the TCP KV service: a real server on an ephemeral
+//! localhost port, a real client, a few thousand mixed operations
+//! mirrored in an in-process model, scans, stats, error surfaces, and
+//! graceful shutdown.
+
+use pcp_lsm::{CompactionPolicy, Options};
+use pcp_shard::{
+    BatchItem, HashRouter, KvClient, KvServer, Request, Response, ShardedDb,
+};
+use pcp_storage::{EnvRef, SimDevice, SimEnv};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn sharded(n: usize) -> Arc<ShardedDb> {
+    let envs: Vec<EnvRef> = (0..n)
+        .map(|_| Arc::new(SimEnv::new(Arc::new(SimDevice::mem(256 << 20)))) as EnvRef)
+        .collect();
+    let opts = Options {
+        memtable_bytes: 32 << 10,
+        sstable_bytes: 32 << 10,
+        policy: CompactionPolicy {
+            l0_trigger: 4,
+            base_level_bytes: 128 << 10,
+            level_multiplier: 10,
+        },
+        ..Options::default()
+    };
+    Arc::new(ShardedDb::open_with_envs(envs, opts, Arc::new(HashRouter::new(n))).unwrap())
+}
+
+/// splitmix64 for a deterministic mixed-op stream.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn kv_service_end_to_end() {
+    let db = sharded(4);
+    let mut server = KvServer::start(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+
+    let mut client = KvClient::connect(addr).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = 0x5EED_u64;
+    let mut reads = 0u64;
+
+    // ≥1000 mixed operations, every read checked against the model.
+    for i in 0..1500u64 {
+        let k = mix(&mut rng) % 400;
+        let key = format!("user{k:05}").into_bytes();
+        match mix(&mut rng) % 10 {
+            0..=4 => {
+                let value = format!("payload-{i}-{k}").into_bytes();
+                client.put(&key, &value).unwrap();
+                model.insert(key, value);
+            }
+            5 => {
+                client.delete(&key).unwrap();
+                model.remove(&key);
+            }
+            6 => {
+                // Multi-key batch: spans shards under the hash router.
+                let key2 = format!("user{:05}", mix(&mut rng) % 400).into_bytes();
+                let del = format!("user{:05}", mix(&mut rng) % 400).into_bytes();
+                let value = format!("batched-{i}").into_bytes();
+                client
+                    .batch(vec![
+                        BatchItem::Put(key.clone(), value.clone()),
+                        BatchItem::Put(key2.clone(), value.clone()),
+                        BatchItem::Delete(del.clone()),
+                    ])
+                    .unwrap();
+                // Mirror in the same order the engine applies them.
+                model.insert(key, value.clone());
+                model.insert(key2, value);
+                model.remove(&del);
+            }
+            _ => {
+                reads += 1;
+                assert_eq!(
+                    client.get(&key).unwrap(),
+                    model.get(&key).cloned(),
+                    "divergence at op {i}"
+                );
+            }
+        }
+    }
+    assert!(reads > 100, "op mix degenerate: only {reads} reads");
+
+    // Full scan over the wire equals the model, in key order.
+    let entries = client.scan(b"", 100_000).unwrap();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(entries, expect, "remote scan diverged from model");
+
+    // Bounded scan from a mid-keyspace start respects start and limit.
+    let bounded = client.scan(b"user00200", 10).unwrap();
+    let expect_bounded: Vec<(Vec<u8>, Vec<u8>)> = model
+        .range(b"user00200".to_vec()..)
+        .take(10)
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(bounded, expect_bounded);
+
+    // STATS round-trips service counters and engine aggregates.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards, 4);
+    assert!(stats.ops >= 1500, "server counted {} ops", stats.ops);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.engine_puts > 0);
+    assert!(stats.engine_gets > 0);
+    assert_eq!(stats.per_shard_puts.len(), 4);
+    assert!(
+        stats.per_shard_puts.iter().all(|&p| p > 0),
+        "hash routing left a shard idle: {:?}",
+        stats.per_shard_puts
+    );
+    assert_eq!(
+        stats.per_shard_puts.iter().sum::<u64>(),
+        stats.engine_puts,
+        "per-shard puts must sum to the aggregate"
+    );
+    // Latency capture is live (some op took measurable time).
+    assert!(stats.ops > stats.errors);
+
+    // Server-side stats agree with what the client saw.
+    let local = server.stats();
+    assert_eq!(local.shards, 4);
+    assert!(local.ops >= stats.ops);
+
+    drop(client);
+    server.shutdown();
+    // After shutdown the port no longer accepts work.
+    assert!(
+        KvClient::connect(addr)
+            .and_then(|mut c| c.get(b"user00001"))
+            .is_err(),
+        "server still serving after shutdown"
+    );
+
+    // The engine survives the service: data is intact underneath.
+    for (k, v) in model.iter().take(50) {
+        assert_eq!(db.get(k).unwrap().as_ref(), Some(v));
+    }
+}
+
+#[test]
+fn kv_service_concurrent_clients() {
+    let db = sharded(2);
+    let mut server = KvServer::start(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let threads: Vec<_> = (0..4u8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = KvClient::connect(addr).unwrap();
+                for i in 0..250u32 {
+                    let key = format!("c{t}-{i:04}").into_bytes();
+                    client.put(&key, format!("v{t}-{i}").as_bytes()).unwrap();
+                }
+                for i in 0..250u32 {
+                    let key = format!("c{t}-{i:04}").into_bytes();
+                    assert_eq!(
+                        client.get(&key).unwrap(),
+                        Some(format!("v{t}-{i}").into_bytes())
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut client = KvClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.ops >= 2000);
+    assert_eq!(stats.errors, 0);
+    let all = client.scan(b"", 100_000).unwrap();
+    assert_eq!(all.len(), 1000);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+    server.shutdown();
+}
+
+#[test]
+fn kv_service_error_and_edge_paths() {
+    let db = sharded(2);
+    let mut server = KvServer::start(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let mut client = KvClient::connect(server.local_addr()).unwrap();
+
+    // Missing key.
+    assert_eq!(client.get(b"absent").unwrap(), None);
+    // Empty value round-trips.
+    client.put(b"empty-val", b"").unwrap();
+    assert_eq!(client.get(b"empty-val").unwrap(), Some(Vec::new()));
+    // Delete of a missing key succeeds (LSM tombstone semantics).
+    client.delete(b"never-existed").unwrap();
+    // Scan limit zero returns nothing.
+    assert!(client.scan(b"", 0).unwrap().is_empty());
+    // An oversized scan limit is clamped server-side, not an error.
+    client.put(b"one", b"1").unwrap();
+    assert!(!client.scan(b"", u64::MAX).unwrap().is_empty());
+    // A raw malformed request yields Response::Err, and the connection
+    // keeps working afterwards.
+    match client.request(&Request::Get(Vec::new())).unwrap() {
+        Response::NotFound | Response::Err(_) => {}
+        other => panic!("empty-key get: unexpected {other:?}"),
+    }
+    assert_eq!(client.get(b"one").unwrap(), Some(b"1".to_vec()));
+
+    server.shutdown();
+}

@@ -1,0 +1,60 @@
+//! The storage backend the workload drivers run against.
+//!
+//! The drivers were written against [`pcp_lsm::Db`] directly; [`KvStore`]
+//! lifts the surface they actually use into a trait so the same insert and
+//! mixed read/write loads replay unchanged against any engine — a single
+//! `Db`, a range-sharded multi-`Db` engine, or a remote service client —
+//! and their reports stay comparable across backends.
+
+use pcp_lsm::{Db, MetricsSnapshot, WriteBatch};
+use std::io;
+
+/// A key-value engine a workload driver can load.
+///
+/// `metrics` aggregates whatever the backend considers its engine
+/// counters; a sharded backend reports the sum over its shards.
+pub trait KvStore: Send + Sync {
+    /// Inserts `key → value`.
+    fn put(&self, key: &[u8], value: &[u8]) -> io::Result<()>;
+
+    /// Reads the newest visible value for `key`.
+    fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>>;
+
+    /// Deletes `key`.
+    fn delete(&self, key: &[u8]) -> io::Result<()>;
+
+    /// Applies a batch atomically (per shard, for sharded backends).
+    fn write(&self, batch: WriteBatch) -> io::Result<()>;
+
+    /// Blocks until no background flush or compaction work remains.
+    fn wait_idle(&self) -> io::Result<()>;
+
+    /// Aggregated engine counters.
+    fn metrics(&self) -> MetricsSnapshot;
+}
+
+impl KvStore for Db {
+    fn put(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        Db::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        Db::get(self, key)
+    }
+
+    fn delete(&self, key: &[u8]) -> io::Result<()> {
+        Db::delete(self, key)
+    }
+
+    fn write(&self, batch: WriteBatch) -> io::Result<()> {
+        Db::write(self, batch)
+    }
+
+    fn wait_idle(&self) -> io::Result<()> {
+        Db::wait_idle(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Db::metrics(self)
+    }
+}

@@ -1,9 +1,9 @@
 //! Insert-workload driver: loads a database and reports the throughput
 //! numbers the paper plots (IOPS, write pauses, compaction bandwidth).
 
+use crate::backend::KvStore;
 use crate::keys::{KeyGen, KeyOrder};
 use crate::values::ValueGen;
-use pcp_lsm::Db;
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -68,9 +68,9 @@ pub struct InsertReport {
     pub flush_count: u64,
 }
 
-/// Runs an insert-only load against `db` and waits for background work to
-/// quiesce before reporting.
-pub fn run_inserts(db: &Db, cfg: &WorkloadConfig) -> io::Result<InsertReport> {
+/// Runs an insert-only load against any [`KvStore`] backend and waits for
+/// background work to quiesce before reporting.
+pub fn run_inserts<S: KvStore + ?Sized>(db: &S, cfg: &WorkloadConfig) -> io::Result<InsertReport> {
     let space = cfg.key_space.unwrap_or(cfg.entries.max(1));
     let mut keys = KeyGen::new(cfg.order, cfg.key_len, space, cfg.seed);
     let mut values = ValueGen::new(cfg.value_len, cfg.value_compressibility, cfg.seed ^ 0xABCD);
@@ -121,7 +121,7 @@ pub fn run_inserts(db: &Db, cfg: &WorkloadConfig) -> io::Result<InsertReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcp_lsm::{CompactionPolicy, Options};
+    use pcp_lsm::{CompactionPolicy, Db, Options};
     use pcp_storage::{EnvRef, SimDevice, SimEnv};
     use std::sync::Arc;
 

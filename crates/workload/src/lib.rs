@@ -6,12 +6,14 @@
 //! zipfian) and value compressibility are configurable; the paper's
 //! figures use uniform random keys with snappy-compressible values.
 
+pub mod backend;
 pub mod driver;
 pub mod keys;
 pub mod latency;
 pub mod mixed;
 pub mod values;
 
+pub use backend::KvStore;
 pub use driver::{run_inserts, InsertReport, WorkloadConfig};
 pub use keys::{KeyGen, KeyOrder};
 pub use latency::LatencyHistogram;

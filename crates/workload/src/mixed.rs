@@ -6,10 +6,10 @@
 //! histograms, so the read-side effect of background compaction (and of
 //! write pauses) is observable.
 
+use crate::backend::KvStore;
 use crate::keys::{KeyGen, KeyOrder};
 use crate::latency::LatencyHistogram;
 use crate::values::ValueGen;
-use pcp_lsm::Db;
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -59,8 +59,8 @@ impl MixedReport {
     }
 }
 
-/// Runs an interleaved get/put stream against `db`.
-pub fn run_mixed(db: &Db, cfg: &MixedConfig) -> io::Result<MixedReport> {
+/// Runs an interleaved get/put stream against any [`KvStore`] backend.
+pub fn run_mixed<S: KvStore + ?Sized>(db: &S, cfg: &MixedConfig) -> io::Result<MixedReport> {
     assert!((0.0..=1.0).contains(&cfg.read_fraction));
     let mut keys = KeyGen::new(cfg.order, cfg.key_len, cfg.key_space, cfg.seed);
     let mut values = ValueGen::new(cfg.value_len, cfg.value_compressibility, cfg.seed ^ 0x5A5A);
@@ -110,7 +110,7 @@ pub fn run_mixed(db: &Db, cfg: &MixedConfig) -> io::Result<MixedReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcp_lsm::{CompactionPolicy, Options};
+    use pcp_lsm::{CompactionPolicy, Db, Options};
     use pcp_storage::{EnvRef, SimDevice, SimEnv};
     use std::sync::Arc;
 

@@ -7,8 +7,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --examples --release"
+cargo build --examples --release
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q -p pcp-shard --test kv_service (TCP service e2e)"
+cargo test -q -p pcp-shard --test kv_service
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

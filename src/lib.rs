@@ -41,6 +41,7 @@
 //! | [`core`] | `pcp-core` | **the paper's contribution**: sub-task planner, SCP/PCP/C-PPCP/S-PPCP executors, Eq. 1–7, step profiler |
 //! | [`sim`] | `pcp-sim` | discrete-event pipeline simulator |
 //! | [`workload`] | `pcp-workload` | key/value generators and insert drivers |
+//! | [`shard`] | `pcp-shard` | range-sharded multi-DB engine and the TCP KV service |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -48,6 +49,7 @@
 pub use pcp_codec as codec;
 pub use pcp_core as core;
 pub use pcp_lsm as lsm;
+pub use pcp_shard as shard;
 pub use pcp_sim as sim;
 pub use pcp_sstable as sstable;
 pub use pcp_storage as storage;
@@ -56,7 +58,8 @@ pub use pcp_workload as workload;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use pcp_core::{PipelineConfig, PipelinedExec, ScpExec};
-    pub use pcp_lsm::{CompactionPolicy, Db, DbHealth, Options, WriteBatch};
+    pub use pcp_lsm::{CompactionLimiter, CompactionPolicy, Db, DbHealth, Options, WriteBatch};
+    pub use pcp_shard::{HashRouter, KvClient, KvServer, RangeRouter, ShardedDb, ShardedHealth};
     pub use pcp_storage::{Env, FaultEnv, FaultKind, FaultOp, HddModel, Raid0, RetryPolicy, SimDevice, SimEnv, SsdModel, StdFsEnv};
-    pub use pcp_workload::{run_inserts, KeyOrder, WorkloadConfig};
+    pub use pcp_workload::{run_inserts, KeyOrder, KvStore, WorkloadConfig};
 }
