@@ -14,10 +14,15 @@ fn main() {
         "fig5",
         &["device", "read%", "compute%", "write%", "verdict"],
     );
+    // Everything measured below is also exported through the registry —
+    // per-step busy time and the last-compaction occupancy gauges — and
+    // mirrored as BENCH_obs_fig5.json next to the TSV table.
+    let registry = pcp_obs::Registry::new();
     for (device, env) in [("hdd", hdd_env(1.0)), ("ssd", ssd_env(1.0))] {
         let fixture = build_fixture(env, upper, VALUE_LEN, 5);
         let exec = ScpExec::new(SUBTASK_BYTES);
         let profile = exec.profile();
+        profile.register_metrics(&registry, &format!("scp-{device}"));
         let snap = profiled_run(&fixture, &exec, &profile);
         let (r, c, w) = snap.three_part_split();
         let verdict = if c > r + w { "CPU-bound" } else { "I/O-bound" };
@@ -37,4 +42,6 @@ fn main() {
         );
     }
     report.finish("SCP time breakdown into three parts (paper Fig. 5)");
+    let path = write_obs_json("fig5", &registry);
+    eprintln!("fig5: metrics snapshot written to {}", path.display());
 }

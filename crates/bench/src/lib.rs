@@ -329,6 +329,23 @@ impl Report {
     }
 }
 
+/// Writes `registry`'s full snapshot as machine-readable JSON to
+/// `bench_results/BENCH_obs_<name>.json` and returns the path. This is
+/// the bench-side consumer of the observability layer: every harness
+/// that registers its profiles/devices can mirror the figures' TSV
+/// tables with the raw counters, occupancy gauges, and latency
+/// histograms behind them (see `OBSERVABILITY.md`).
+pub fn write_obs_json(name: &str, registry: &pcp_obs::Registry) -> std::path::PathBuf {
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_obs_{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(registry.snapshot().to_json().as_bytes());
+        let _ = f.write_all(b"\n");
+    }
+    path
+}
+
 /// `bench_results/` at the workspace root (or CWD as fallback).
 pub fn results_dir() -> std::path::PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_default();

@@ -39,5 +39,5 @@ pub mod steps;
 pub use model::{Bottleneck, StepTimes};
 pub use pipeline::{PipelineConfig, PipelinedExec, ScpExec, SealedWriter};
 pub use planner::{check_plan, plan_subtasks, RunBlocks, SubTask};
-pub use profile::{CompactionProfile, ProfileSnapshot, Step};
+pub use profile::{CompactionProfile, Occupancy, ProfileSnapshot, Step};
 pub use steps::{compute_subtask, read_subtask, ComputeConfig, ComputedSubTask, SealedBlock, SubTaskData};

@@ -24,13 +24,14 @@
 //! cross-executor integration tests).
 
 use crate::planner::{plan_subtasks, RunBlocks};
-use crate::profile::{CompactionProfile, Step};
+use crate::profile::{CompactionProfile, Occupancy, ProfileSnapshot, Step};
 use crate::steps::{
     compute_subtask, read_subtask, ComputeConfig, ComputedSubTask,
 };
 use crossbeam::channel::bounded;
 use pcp_lsm::{CompactionExec, CompactionRequest, FileMetadata};
 use pcp_lsm::filename::table_file;
+use pcp_obs::TraceLog;
 use pcp_sstable::key::user_key;
 use pcp_sstable::{Result as TableResult, TableBuilder, TableReader};
 use std::collections::BTreeMap;
@@ -66,6 +67,36 @@ impl Default for PipelineConfig {
             deep_compute: false,
         }
     }
+}
+
+/// Shared per-compaction bookkeeping for both executors: publishes the
+/// occupancy of the compaction that just finished (computed as the
+/// profile delta over its wall time — the Fig. 5 quantity) and emits the
+/// `compaction_done` trace event. When several compactions share one
+/// profile concurrently the delta attributes overlapping step time to
+/// whichever finishes last; occupancies are exact whenever compactions on
+/// a profile are serialized (the common case: one executor per DB).
+fn finish_compaction(
+    profile: &CompactionProfile,
+    before: &ProfileSnapshot,
+    trace: Option<&TraceLog>,
+    outputs: usize,
+) -> Occupancy {
+    let occ = profile.snapshot().delta(before).occupancy();
+    profile.set_last_occupancy(&occ);
+    if let Some(t) = trace {
+        t.record(
+            "compaction_done",
+            &[
+                ("outputs", outputs as u64),
+                ("wall_nanos", occ.wall.as_nanos() as u64),
+                ("read_busy_ppm", (occ.read * 1e6) as u64),
+                ("compute_busy_ppm", (occ.compute * 1e6) as u64),
+                ("write_busy_ppm", (occ.write * 1e6) as u64),
+            ],
+        );
+    }
+    occ
 }
 
 fn compute_config(req: &CompactionRequest) -> ComputeConfig {
@@ -242,6 +273,7 @@ pub struct ScpExec {
     /// Sub-task size: in SCP this is simply the I/O granularity.
     pub subtask_bytes: u64,
     profile: Arc<CompactionProfile>,
+    trace: Option<Arc<TraceLog>>,
 }
 
 impl ScpExec {
@@ -250,7 +282,15 @@ impl ScpExec {
         ScpExec {
             subtask_bytes,
             profile: Arc::new(CompactionProfile::new()),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace log; the executor emits `compaction_start` /
+    /// `compaction_done` / `compaction_failed` lifecycle events into it.
+    pub fn with_trace(mut self, trace: Arc<TraceLog>) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Shared step profile.
@@ -272,8 +312,19 @@ impl CompactionExec for ScpExec {
 
     fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
         let wall = Instant::now();
+        let before = self.profile.snapshot();
         let (readers, runs) = gather_runs(req)?;
         let plan = plan_subtasks(&runs, self.subtask_bytes);
+        if let Some(t) = &self.trace {
+            t.record(
+                "compaction_start",
+                &[
+                    ("exec", 0), // 0 = scp (see OBSERVABILITY.md)
+                    ("inputs", readers.len() as u64),
+                    ("subtasks", plan.len() as u64),
+                ],
+            );
+        }
         let ccfg = compute_config(req);
         let mut writer = SealedWriter::new(req, &self.profile);
         let result = {
@@ -291,12 +342,21 @@ impl CompactionExec for ScpExec {
         match result {
             Ok(outputs) => {
                 self.profile.add_compaction(wall.elapsed());
+                finish_compaction(
+                    &self.profile,
+                    &before,
+                    self.trace.as_deref(),
+                    outputs.len(),
+                );
                 Ok(outputs)
             }
             Err(e) => {
                 // Sweep partial outputs so a failed compaction leaves no
                 // orphan tables behind.
-                writer.abort();
+                let swept = writer.abort();
+                if let Some(t) = &self.trace {
+                    t.record("compaction_failed", &[("swept_outputs", swept as u64)]);
+                }
                 Err(e)
             }
         }
@@ -311,6 +371,7 @@ impl CompactionExec for ScpExec {
 pub struct PipelinedExec {
     cfg: PipelineConfig,
     profile: Arc<CompactionProfile>,
+    trace: Option<Arc<TraceLog>>,
 }
 
 impl PipelinedExec {
@@ -321,7 +382,15 @@ impl PipelinedExec {
         PipelinedExec {
             cfg,
             profile: Arc::new(CompactionProfile::new()),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace log; the executor emits `compaction_start` /
+    /// `compaction_done` / `compaction_failed` lifecycle events into it.
+    pub fn with_trace(mut self, trace: Arc<TraceLog>) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Plain PCP: 1 read lane, 1 compute worker, 1 write lane.
@@ -376,10 +445,23 @@ impl CompactionExec for PipelinedExec {
 
     fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
         let wall = Instant::now();
+        let before = self.profile.snapshot();
         let (readers, runs) = gather_runs(req)?;
         let plan = plan_subtasks(&runs, self.cfg.subtask_bytes);
         if plan.is_empty() {
             return Ok(Vec::new());
+        }
+        if let Some(t) = &self.trace {
+            t.record(
+                "compaction_start",
+                &[
+                    ("exec", 1), // 1 = pipelined (see OBSERVABILITY.md)
+                    ("inputs", readers.len() as u64),
+                    ("subtasks", plan.len() as u64),
+                    ("read_workers", self.cfg.read_workers as u64),
+                    ("compute_workers", self.cfg.compute_workers as u64),
+                ],
+            );
         }
         debug_assert!(crate::planner::check_plan(&runs, &plan).is_ok());
         let ccfg = compute_config(req);
@@ -527,8 +609,21 @@ impl CompactionExec for PipelinedExec {
                 }
             };
         });
-        if result.is_ok() {
-            self.profile.add_compaction(wall.elapsed());
+        match &result {
+            Ok(outputs) => {
+                self.profile.add_compaction(wall.elapsed());
+                finish_compaction(
+                    &self.profile,
+                    &before,
+                    self.trace.as_deref(),
+                    outputs.len(),
+                );
+            }
+            Err(_) => {
+                if let Some(t) = &self.trace {
+                    t.record("compaction_failed", &[]);
+                }
+            }
         }
         result
     }
@@ -724,6 +819,50 @@ mod tests {
         assert_eq!(snap.compactions, 1);
         assert!(snap.entries_in >= 2000);
         assert!(snap.bandwidth() > 0.0);
+    }
+
+    /// Every executor publishes a per-compaction occupancy and, with a
+    /// trace attached, the start/done lifecycle events.
+    #[test]
+    fn compaction_publishes_occupancy_and_trace_events() {
+        let trace = Arc::new(TraceLog::new(64));
+        let exec = PipelinedExec::pcp(64 << 10).with_trace(Arc::clone(&trace));
+        let env = env();
+        let upper = build_input(&env, "u.sst", 2000, 1, 1, "x");
+        let req = request(&env, vec![upper], vec![]);
+        exec.compact(&req).unwrap();
+
+        let occ = exec.profile().last_occupancy();
+        assert!(occ.read > 0.0 && occ.compute > 0.0 && occ.write > 0.0);
+        assert!(occ.read <= 1.0 && occ.compute <= 1.0 && occ.write <= 1.0);
+        assert!(occ.wall > std::time::Duration::ZERO);
+
+        let kinds: Vec<&str> = trace.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["compaction_start", "compaction_done"]);
+        let done = &trace.events()[1];
+        let field = |k: &str| done.fields.iter().find(|(n, _)| *n == k).unwrap().1;
+        assert!(field("outputs") > 0);
+        assert!(field("wall_nanos") > 0);
+        assert_eq!(field("read_busy_ppm"), (occ.read * 1e6) as u64);
+    }
+
+    /// SCP runs its seven steps strictly sequentially, so the three
+    /// resource fractions must sum to at most 1.0 exactly.
+    #[test]
+    fn scp_occupancy_fractions_sum_to_at_most_one() {
+        let trace = Arc::new(TraceLog::new(8));
+        let exec = ScpExec::new(32 << 10).with_trace(Arc::clone(&trace));
+        let env = env();
+        let upper = build_input(&env, "u.sst", 2000, 1, 1, "x");
+        let req = request(&env, vec![upper], vec![]);
+        exec.compact(&req).unwrap();
+        let occ = exec.profile().last_occupancy();
+        assert!(occ.read > 0.0 && occ.compute > 0.0 && occ.write > 0.0);
+        assert!(
+            occ.read + occ.compute + occ.write <= 1.0 + 1e-6,
+            "sequential executor busy time exceeded wall time: {occ:?}"
+        );
+        assert_eq!(trace.events()[0].kind, "compaction_start");
     }
 
     #[test]

@@ -7,17 +7,25 @@
 //! and the discrete-event simulator.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The seven compaction steps of paper Fig. 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
+    /// S1 — read input blocks from the device.
     Read = 0,
+    /// S2 — verify block checksums.
     Checksum = 1,
+    /// S3 — decompress block contents.
     Decompress = 2,
+    /// S4 — merge-sort entries and drop shadowed versions.
     Sort = 3,
+    /// S5 — compress output blocks.
     Compress = 4,
+    /// S6 — checksum output blocks.
     ReChecksum = 5,
+    /// S7 — write output blocks to the device.
     Write = 6,
 }
 
@@ -53,6 +61,34 @@ impl Step {
     }
 }
 
+/// Per-resource busy-time fractions for one compaction — the quantity of
+/// the paper's Fig. 5 (and the x-axis intuition behind Figs. 8–12): how
+/// much of the compaction's wall time each resource spent working.
+///
+/// `read` and `write` share the disk; `compute` covers S2–S6 on the CPU.
+/// Under SCP the three fractions sum to ≤ 1.0 (one resource busy at a
+/// time); under PCP each fraction individually approaches 1.0 on the
+/// bottleneck resource while the others overlap it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Occupancy {
+    /// Fraction of wall time the read stage (S1) was busy.
+    pub read: f64,
+    /// Fraction of wall time the compute steps (S2–S6) were busy.
+    pub compute: f64,
+    /// Fraction of wall time the write stage (S7) was busy.
+    pub write: f64,
+    /// The wall time the fractions are relative to.
+    pub wall: Duration,
+}
+
+impl Occupancy {
+    /// The largest of the three fractions — the bottleneck resource's
+    /// occupancy, which PCP drives toward 1.0.
+    pub fn bottleneck(&self) -> f64 {
+        self.read.max(self.compute).max(self.write)
+    }
+}
+
 /// Thread-safe accumulator shared by all pipeline stages of one (or many)
 /// compactions.
 #[derive(Debug, Default)]
@@ -67,6 +103,10 @@ pub struct CompactionProfile {
     subtasks: AtomicU64,
     compactions: AtomicU64,
     wall_nanos: AtomicU64,
+    /// read/compute/write fractions of the most recent compaction, as f64
+    /// bits (see [`CompactionProfile::set_last_occupancy`]).
+    last_occ: [AtomicU64; 3],
+    last_occ_wall_nanos: AtomicU64,
 }
 
 impl CompactionProfile {
@@ -80,30 +120,37 @@ impl CompactionProfile {
         self.step_nanos[s as usize].fetch_add(d.as_nanos() as u64, Relaxed);
     }
 
+    /// Adds compressed bytes read by S1.
     pub fn add_input_bytes(&self, n: u64) {
         self.input_bytes.fetch_add(n, Relaxed);
     }
 
+    /// Adds compressed bytes written by S7.
     pub fn add_output_bytes(&self, n: u64) {
         self.output_bytes.fetch_add(n, Relaxed);
     }
 
+    /// Adds uncompressed bytes through the compute stage.
     pub fn add_raw_bytes(&self, n: u64) {
         self.raw_bytes.fetch_add(n, Relaxed);
     }
 
+    /// Adds data blocks processed.
     pub fn add_blocks(&self, n: u64) {
         self.blocks.fetch_add(n, Relaxed);
     }
 
+    /// Adds entries merged in.
     pub fn add_entries_in(&self, n: u64) {
         self.entries_in.fetch_add(n, Relaxed);
     }
 
+    /// Adds entries surviving to the output.
     pub fn add_entries_out(&self, n: u64) {
         self.entries_out.fetch_add(n, Relaxed);
     }
 
+    /// Adds sub-tasks executed.
     pub fn add_subtasks(&self, n: u64) {
         self.subtasks.fetch_add(n, Relaxed);
     }
@@ -112,6 +159,85 @@ impl CompactionProfile {
     pub fn add_compaction(&self, wall: Duration) {
         self.compactions.fetch_add(1, Relaxed);
         self.wall_nanos.fetch_add(wall.as_nanos() as u64, Relaxed);
+    }
+
+    /// Publishes the occupancy of the most recent compaction (executors
+    /// call this with the per-compaction snapshot delta's
+    /// [`ProfileSnapshot::occupancy`]). Readable via
+    /// [`CompactionProfile::last_occupancy`] and exported as the
+    /// `pcp_compaction_last_occupancy` gauge.
+    pub fn set_last_occupancy(&self, occ: &Occupancy) {
+        self.last_occ[0].store(occ.read.to_bits(), Relaxed);
+        self.last_occ[1].store(occ.compute.to_bits(), Relaxed);
+        self.last_occ[2].store(occ.write.to_bits(), Relaxed);
+        self.last_occ_wall_nanos
+            .store(occ.wall.as_nanos() as u64, Relaxed);
+    }
+
+    /// The occupancy published by the most recent completed compaction
+    /// (all-zero before the first one).
+    pub fn last_occupancy(&self) -> Occupancy {
+        Occupancy {
+            read: f64::from_bits(self.last_occ[0].load(Relaxed)),
+            compute: f64::from_bits(self.last_occ[1].load(Relaxed)),
+            write: f64::from_bits(self.last_occ[2].load(Relaxed)),
+            wall: Duration::from_nanos(self.last_occ_wall_nanos.load(Relaxed)),
+        }
+    }
+
+    /// Registers every accumulator of this profile in `registry` under the
+    /// `pcp_compaction_*` namespace, labelled `exec="<exec>"` (the
+    /// executor name, so SCP and PCP profiles can coexist in one
+    /// registry). The registration is by closure collector: the profile
+    /// keeps its own atomics and the registry reads them at scrape time.
+    pub fn register_metrics(self: &Arc<Self>, registry: &pcp_obs::Registry, exec: &str) {
+        let base = vec![("exec".to_string(), exec.to_string())];
+        for s in Step::ALL {
+            let p = Arc::clone(self);
+            let mut labels = base.clone();
+            labels.push(("step".to_string(), s.label().to_string()));
+            registry.register_fn_counter(
+                "pcp_compaction_step_busy_nanoseconds_total",
+                "accumulated busy time per compaction step S1-S7 (paper Fig. 2)",
+                labels,
+                move || p.step_nanos[s as usize].load(Relaxed),
+            );
+        }
+        type Getter = fn(&CompactionProfile) -> u64;
+        let counters: [(&str, &str, Getter); 8] = [
+            ("pcp_compaction_input_bytes_total", "compressed bytes read by S1", |p| p.input_bytes.load(Relaxed)),
+            ("pcp_compaction_output_bytes_total", "compressed bytes written by S7", |p| p.output_bytes.load(Relaxed)),
+            ("pcp_compaction_raw_bytes_total", "uncompressed bytes through the compute stage", |p| p.raw_bytes.load(Relaxed)),
+            ("pcp_compaction_blocks_total", "data blocks processed", |p| p.blocks.load(Relaxed)),
+            ("pcp_compaction_entries_in_total", "entries merged in", |p| p.entries_in.load(Relaxed)),
+            ("pcp_compaction_entries_out_total", "entries surviving to the output", |p| p.entries_out.load(Relaxed)),
+            ("pcp_compaction_subtasks_total", "sub-tasks executed", |p| p.subtasks.load(Relaxed)),
+            ("pcp_compactions_total", "compactions completed", |p| p.compactions.load(Relaxed)),
+        ];
+        for (name, help, get) in counters {
+            let p = Arc::clone(self);
+            registry.register_fn_counter(name, help, base.clone(), move || get(&p));
+        }
+        {
+            let p = Arc::clone(self);
+            registry.register_fn_counter(
+                "pcp_compaction_wall_nanoseconds_total",
+                "wall time summed over completed compactions",
+                base.clone(),
+                move || p.wall_nanos.load(Relaxed),
+            );
+        }
+        for (stage, idx) in [("read", 0usize), ("compute", 1), ("write", 2)] {
+            let p = Arc::clone(self);
+            let mut labels = base.clone();
+            labels.push(("stage".to_string(), stage.to_string()));
+            registry.register_fn_gauge(
+                "pcp_compaction_last_occupancy",
+                "per-resource busy-time fraction of the most recent compaction (paper Fig. 5)",
+                labels,
+                move || f64::from_bits(p.last_occ[idx].load(Relaxed)),
+            );
+        }
     }
 
     /// Plain-data snapshot.
@@ -176,6 +302,34 @@ impl ProfileSnapshot {
             self.time(s).as_secs_f64() / total
         } else {
             0.0
+        }
+    }
+
+    /// Per-resource busy-time fractions relative to wall time — the
+    /// paper's Fig. 5 quantity. Meaningful on a per-compaction snapshot
+    /// (or a [`ProfileSnapshot::delta`] spanning one compaction): `read`
+    /// is S1 busy / wall, `compute` is S2–S6 busy / wall, `write` is S7
+    /// busy / wall. All-zero when no wall time was recorded.
+    pub fn occupancy(&self) -> Occupancy {
+        let wall = self.wall_time.as_secs_f64();
+        if wall <= 0.0 {
+            return Occupancy::default();
+        }
+        let compute: Duration = [
+            Step::Checksum,
+            Step::Decompress,
+            Step::Sort,
+            Step::Compress,
+            Step::ReChecksum,
+        ]
+        .iter()
+        .map(|s| self.time(*s))
+        .sum();
+        Occupancy {
+            read: self.time(Step::Read).as_secs_f64() / wall,
+            compute: compute.as_secs_f64() / wall,
+            write: self.time(Step::Write).as_secs_f64() / wall,
+            wall: self.wall_time,
         }
     }
 
@@ -279,6 +433,70 @@ mod tests {
         let d = p.snapshot().delta(&a);
         assert_eq!(d.input_bytes, 7);
         assert_eq!(d.time(Step::Read), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn occupancy_splits_resources_against_wall_time() {
+        let p = CompactionProfile::new();
+        p.record(Step::Read, Duration::from_millis(200));
+        p.record(Step::Sort, Duration::from_millis(500));
+        p.record(Step::Checksum, Duration::from_millis(100));
+        p.record(Step::Write, Duration::from_millis(300));
+        p.add_compaction(Duration::from_secs(1));
+        let occ = p.snapshot().occupancy();
+        assert!((occ.read - 0.2).abs() < 1e-9);
+        assert!((occ.compute - 0.6).abs() < 1e-9);
+        assert!((occ.write - 0.3).abs() < 1e-9);
+        assert!((occ.bottleneck() - 0.6).abs() < 1e-9);
+        assert_eq!(occ.wall, Duration::from_secs(1));
+        // Empty profile → all-zero occupancy, no division by zero.
+        assert_eq!(CompactionProfile::new().snapshot().occupancy(), Occupancy::default());
+    }
+
+    #[test]
+    fn last_occupancy_round_trips() {
+        let p = CompactionProfile::new();
+        assert_eq!(p.last_occupancy(), Occupancy::default());
+        let occ = Occupancy {
+            read: 0.25,
+            compute: 0.5,
+            write: 0.125,
+            wall: Duration::from_millis(42),
+        };
+        p.set_last_occupancy(&occ);
+        assert_eq!(p.last_occupancy(), occ);
+    }
+
+    #[test]
+    fn register_metrics_exports_every_accumulator() {
+        let p = Arc::new(CompactionProfile::new());
+        p.record(Step::Read, Duration::from_millis(3));
+        p.add_input_bytes(1234);
+        p.add_compaction(Duration::from_millis(10));
+        p.set_last_occupancy(&p.snapshot().occupancy());
+        let registry = pcp_obs::Registry::new();
+        p.register_metrics(&registry, "scp");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(
+                "pcp_compaction_step_busy_nanoseconds_total",
+                &[("exec", "scp"), ("step", "read")]
+            ),
+            3_000_000
+        );
+        assert_eq!(
+            snap.counter("pcp_compaction_input_bytes_total", &[("exec", "scp")]),
+            1234
+        );
+        assert_eq!(snap.counter("pcp_compactions_total", &[("exec", "scp")]), 1);
+        let read_occ = snap.gauge(
+            "pcp_compaction_last_occupancy",
+            &[("exec", "scp"), ("stage", "read")],
+        );
+        assert!((read_occ - 0.3).abs() < 0.05, "read occupancy {read_occ}");
+        // Two executors can share a registry thanks to the exec label.
+        Arc::new(CompactionProfile::new()).register_metrics(&registry, "pcp");
+        pcp_obs::validate_exposition(&registry.render_prometheus()).unwrap();
     }
 
     #[test]

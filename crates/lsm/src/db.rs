@@ -150,9 +150,17 @@ pub struct WriteBatch {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchOp<'a> {
     /// Insert `key → value`.
-    Put { key: &'a [u8], value: &'a [u8] },
+    Put {
+        /// Key to insert.
+        key: &'a [u8],
+        /// Value to store.
+        value: &'a [u8],
+    },
     /// Remove `key`.
-    Delete { key: &'a [u8] },
+    Delete {
+        /// Key to tombstone.
+        key: &'a [u8],
+    },
 }
 
 impl<'a> BatchOp<'a> {
@@ -251,40 +259,85 @@ impl WriteBatch {
     }
 }
 
-/// Monotone engine counters.
+/// Monotone engine counters (the atomics behind `pcp_engine_*` metrics;
+/// see `OBSERVABILITY.md`).
 #[derive(Debug, Default)]
 pub struct Metrics {
+    /// Write operations accepted.
     pub puts: AtomicU64,
+    /// Point lookups served.
     pub gets: AtomicU64,
+    /// Writes stopped waiting for compaction.
     pub stall_events: AtomicU64,
+    /// Total time writers spent stalled, nanoseconds.
     pub stall_nanos: AtomicU64,
+    /// Writes delayed by the L0 slowdown trigger.
     pub slowdown_events: AtomicU64,
+    /// Memtable flushes completed.
     pub flush_count: AtomicU64,
+    /// SSTable bytes written by flushes.
     pub flush_bytes: AtomicU64,
+    /// Merge compactions completed.
     pub compaction_count: AtomicU64,
+    /// Bytes read by compactions.
     pub compaction_input_bytes: AtomicU64,
+    /// Bytes written by compactions.
     pub compaction_output_bytes: AtomicU64,
+    /// Wall time inside compactions, nanoseconds.
     pub compaction_nanos: AtomicU64,
+    /// Files moved down a level without rewrite.
     pub trivial_moves: AtomicU64,
+    /// Obsolete files removed by the GC sweep.
     pub gc_deleted_files: AtomicU64,
+    /// GC deletes that failed (retried next sweep).
     pub gc_delete_errors: AtomicU64,
+    /// Background attempts retried after transient I/O errors.
     pub bg_retries: AtomicU64,
+    /// Merge compactions picked per source level (trivial moves excluded).
+    pub level_compactions: [AtomicU64; NUM_LEVELS],
+    /// Compaction input bytes per source level.
+    pub level_compaction_input_bytes: [AtomicU64; NUM_LEVELS],
+    /// Compaction output bytes per source level (written to `level + 1`).
+    pub level_compaction_output_bytes: [AtomicU64; NUM_LEVELS],
+}
+
+/// Per-source-level compaction tallies inside [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelCompaction {
+    /// Merge compactions whose source was this level.
+    pub count: u64,
+    /// Bytes read from this level's compactions (both input components).
+    pub input_bytes: u64,
+    /// Bytes written by this level's compactions (into `level + 1`).
+    pub output_bytes: u64,
 }
 
 /// Plain-data snapshot of [`Metrics`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MetricsSnapshot {
+    /// Write operations accepted.
     pub puts: u64,
+    /// Point lookups served.
     pub gets: u64,
+    /// Writes stopped waiting for compaction.
     pub stall_events: u64,
+    /// Total time writers spent stalled.
     pub stall_time: Duration,
+    /// Writes delayed by the L0 slowdown trigger.
     pub slowdown_events: u64,
+    /// Memtable flushes completed.
     pub flush_count: u64,
+    /// SSTable bytes written by flushes.
     pub flush_bytes: u64,
+    /// Merge compactions completed.
     pub compaction_count: u64,
+    /// Bytes read by compactions.
     pub compaction_input_bytes: u64,
+    /// Bytes written by compactions.
     pub compaction_output_bytes: u64,
+    /// Wall time inside compactions.
     pub compaction_time: Duration,
+    /// Files moved down a level without rewrite.
     pub trivial_moves: u64,
     /// Obsolete files removed by the GC sweep.
     pub gc_deleted_files: u64,
@@ -293,6 +346,10 @@ pub struct MetricsSnapshot {
     /// Background flush/compaction attempts retried after transient I/O
     /// errors.
     pub bg_retries: u64,
+    /// Per-source-level merge-compaction tallies (index = source level;
+    /// trivial moves are counted in [`MetricsSnapshot::trivial_moves`]
+    /// only).
+    pub levels: [LevelCompaction; NUM_LEVELS],
 }
 
 impl MetricsSnapshot {
@@ -329,6 +386,8 @@ struct DbInner {
     done_cv: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
+    /// Lifecycle event ring: flushes, compactions, trivial moves, stalls.
+    trace: Arc<pcp_obs::TraceLog>,
 }
 
 /// An open database.
@@ -456,6 +515,7 @@ impl Db {
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: Metrics::default(),
+            trace: Arc::new(pcp_obs::TraceLog::new(1024)),
         });
         inner.gc_files(&mut inner.state.lock());
 
@@ -739,6 +799,134 @@ impl Db {
             gc_deleted_files: m.gc_deleted_files.load(AtomicOrdering::Relaxed),
             gc_delete_errors: m.gc_delete_errors.load(AtomicOrdering::Relaxed),
             bg_retries: m.bg_retries.load(AtomicOrdering::Relaxed),
+            levels: std::array::from_fn(|l| LevelCompaction {
+                count: m.level_compactions[l].load(AtomicOrdering::Relaxed),
+                input_bytes: m.level_compaction_input_bytes[l].load(AtomicOrdering::Relaxed),
+                output_bytes: m.level_compaction_output_bytes[l]
+                    .load(AtomicOrdering::Relaxed),
+            }),
+        }
+    }
+
+    /// The engine's lifecycle trace: one [`pcp_obs::TraceEvent`] per
+    /// flush, merge compaction, trivial move, and write stall, in a
+    /// bounded ring (most recent 1024 events).
+    pub fn trace(&self) -> &Arc<pcp_obs::TraceLog> {
+        &self.inner.trace
+    }
+
+    /// Registers the engine's counters in `registry` under the
+    /// `pcp_engine_*` namespace (closure collectors over the atomics this
+    /// database already keeps — see `OBSERVABILITY.md` for the contract).
+    /// `extra_labels` is attached to every series; the sharded engine
+    /// passes `shard="<id>"` so per-shard series coexist.
+    ///
+    /// Per-level series carry a `level` label: cumulative compaction
+    /// traffic (`pcp_engine_level_*_total`, from the per-level counters)
+    /// and the current shape of the tree (`pcp_engine_level_files` /
+    /// `pcp_engine_level_bytes` gauges, read from the live version at
+    /// scrape time).
+    pub fn register_metrics(&self, registry: &pcp_obs::Registry, extra_labels: &[(&str, &str)]) {
+        let base: Vec<(String, String)> = extra_labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        type Getter = fn(&Metrics) -> u64;
+        let counters: [(&str, &str, Getter); 15] = [
+            ("pcp_engine_puts_total", "write operations accepted", |m| {
+                m.puts.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_gets_total", "point lookups served", |m| {
+                m.gets.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_stall_events_total", "writes stopped waiting for compaction", |m| {
+                m.stall_events.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_stall_nanoseconds_total", "time writers spent stalled", |m| {
+                m.stall_nanos.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_slowdown_events_total", "writes delayed by the L0 slowdown trigger", |m| {
+                m.slowdown_events.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_flushes_total", "memtable flushes completed", |m| {
+                m.flush_count.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_flush_bytes_total", "SSTable bytes written by flushes", |m| {
+                m.flush_bytes.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_compactions_total", "merge compactions completed", |m| {
+                m.compaction_count.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_compaction_input_bytes_total", "bytes read by compactions", |m| {
+                m.compaction_input_bytes.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_compaction_output_bytes_total", "bytes written by compactions", |m| {
+                m.compaction_output_bytes.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_compaction_nanoseconds_total", "wall time inside compactions", |m| {
+                m.compaction_nanos.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_trivial_moves_total", "files moved down without rewrite", |m| {
+                m.trivial_moves.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_gc_deleted_files_total", "obsolete files removed by GC", |m| {
+                m.gc_deleted_files.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_gc_delete_errors_total", "GC deletes that failed", |m| {
+                m.gc_delete_errors.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_bg_retries_total", "background attempts retried after transient errors", |m| {
+                m.bg_retries.load(AtomicOrdering::Relaxed)
+            }),
+        ];
+        for (name, help, get) in counters {
+            let inner = Arc::clone(&self.inner);
+            registry.register_fn_counter(name, help, base.clone(), move || get(&inner.metrics));
+        }
+        for level in 0..NUM_LEVELS {
+            let with_level = |base: &[(String, String)]| {
+                let mut labels = base.to_vec();
+                labels.push(("level".to_string(), level.to_string()));
+                labels
+            };
+            type LevelGetter = fn(&Metrics, usize) -> u64;
+            let per_level: [(&str, &str, LevelGetter); 3] = [
+                ("pcp_engine_level_compactions_total", "merge compactions per source level", |m, l| {
+                    m.level_compactions[l].load(AtomicOrdering::Relaxed)
+                }),
+                ("pcp_engine_level_compaction_input_bytes_total", "compaction input bytes per source level", |m, l| {
+                    m.level_compaction_input_bytes[l].load(AtomicOrdering::Relaxed)
+                }),
+                ("pcp_engine_level_compaction_output_bytes_total", "compaction output bytes per source level", |m, l| {
+                    m.level_compaction_output_bytes[l].load(AtomicOrdering::Relaxed)
+                }),
+            ];
+            for (name, help, get) in per_level {
+                let inner = Arc::clone(&self.inner);
+                registry.register_fn_counter(name, help, with_level(&base), move || {
+                    get(&inner.metrics, level)
+                });
+            }
+            let inner = Arc::clone(&self.inner);
+            registry.register_fn_gauge(
+                "pcp_engine_level_files",
+                "live tables per level",
+                with_level(&base),
+                move || {
+                    let st = inner.state.lock();
+                    st.versions.current().level_files(level) as f64
+                },
+            );
+            let inner = Arc::clone(&self.inner);
+            registry.register_fn_gauge(
+                "pcp_engine_level_bytes",
+                "live bytes per level",
+                with_level(&base),
+                move || {
+                    let st = inner.state.lock();
+                    st.versions.current().level_bytes(level) as f64
+                },
+            );
         }
     }
 
@@ -990,9 +1178,14 @@ impl DbInner {
         let t0 = Instant::now();
         self.work_cv.notify_all();
         self.done_cv.wait(st);
+        let waited = t0.elapsed();
         self.metrics
             .stall_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+            .fetch_add(waited.as_nanos() as u64, AtomicOrdering::Relaxed);
+        self.trace.record(
+            "write_stall",
+            &[("stall_nanos", waited.as_nanos() as u64)],
+        );
     }
 
     fn rotate_memtable(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
@@ -1211,6 +1404,13 @@ impl DbInner {
         self.metrics
             .flush_count
             .fetch_add(1, AtomicOrdering::Relaxed);
+        self.trace.record(
+            "flush_done",
+            &[
+                ("sst_bytes", meta.as_ref().map_or(0, |m| m.size)),
+                ("entries", meta.as_ref().map_or(0, |m| m.entries)),
+            ],
+        );
         self.gc_files(st);
         Ok(())
     }
@@ -1232,6 +1432,10 @@ impl DbInner {
                 self.metrics
                     .trivial_moves
                     .fetch_add(1, AtomicOrdering::Relaxed);
+                self.trace.record(
+                    "trivial_move",
+                    &[("level", level as u64), ("bytes", file.size)],
+                );
                 Ok(())
             }
             CompactionPick::Merge {
@@ -1278,6 +1482,14 @@ impl DbInner {
                     max_output_bytes: self.opts.sstable_bytes,
                 };
                 let executor = Arc::clone(&self.opts.executor);
+                self.trace.record(
+                    "compaction_picked",
+                    &[
+                        ("level", level as u64),
+                        ("inputs_upper", inputs_upper.len() as u64),
+                        ("inputs_lower", inputs_lower.len() as u64),
+                    ],
+                );
                 let t0 = Instant::now();
                 // On failure the executor has already swept its partial
                 // outputs; the error kind survives so transient faults can
@@ -1327,6 +1539,21 @@ impl DbInner {
                 self.metrics
                     .compaction_nanos
                     .fetch_add(elapsed.as_nanos() as u64, AtomicOrdering::Relaxed);
+                self.metrics.level_compactions[level].fetch_add(1, AtomicOrdering::Relaxed);
+                self.metrics.level_compaction_input_bytes[level]
+                    .fetch_add(input_bytes, AtomicOrdering::Relaxed);
+                self.metrics.level_compaction_output_bytes[level]
+                    .fetch_add(output_bytes, AtomicOrdering::Relaxed);
+                self.trace.record(
+                    "compaction_installed",
+                    &[
+                        ("level", level as u64),
+                        ("input_bytes", input_bytes),
+                        ("output_bytes", output_bytes),
+                        ("outputs", outputs.len() as u64),
+                        ("wall_nanos", elapsed.as_nanos() as u64),
+                    ],
+                );
                 self.gc_files(st);
                 Ok(())
             }

@@ -38,8 +38,8 @@ pub use compact::{
     CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
 };
 pub use db::{
-    BatchOp, Db, DbHealth, IntegrityReport, Metrics, MetricsSnapshot, Options, Snapshot,
-    WriteBatch,
+    BatchOp, Db, DbHealth, IntegrityReport, LevelCompaction, Metrics, MetricsSnapshot, Options,
+    Snapshot, WriteBatch,
 };
 pub use edit::VersionEdit;
 pub use iter::{DbIter, LevelIter};

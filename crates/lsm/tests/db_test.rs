@@ -460,3 +460,56 @@ fn concurrent_writers_and_readers() {
         }
     }
 }
+
+#[test]
+fn metrics_registry_and_trace_follow_engine_lifecycle() {
+    let db = Db::open(ram_env(), small_opts()).unwrap();
+    let registry = pcp_obs::Registry::new();
+    db.register_metrics(&registry, &[("shard", "0")]);
+    for i in 0..3000 {
+        db.put(format!("key{i:06}").as_bytes(), &[9u8; 100]).unwrap();
+    }
+    db.wait_idle().unwrap();
+    db.compact_range(None, None).unwrap();
+
+    let snap = registry.snapshot();
+    let shard = [("shard", "0")];
+    assert_eq!(snap.counter("pcp_engine_puts_total", &shard), 3000);
+    assert!(snap.counter("pcp_engine_flushes_total", &shard) > 0);
+    let compactions = snap.counter("pcp_engine_compactions_total", &shard);
+    assert!(compactions > 0, "compact_range must have merged something");
+    // Per-level series sum to the totals.
+    let level_sum: u64 = (0..7)
+        .map(|l| {
+            snap.counter(
+                "pcp_engine_level_compactions_total",
+                &[("shard", "0"), ("level", &l.to_string())],
+            )
+        })
+        .sum();
+    assert_eq!(level_sum, compactions);
+    // Level gauges reflect the live tree: some level holds files.
+    let files: f64 = (0..7)
+        .map(|l| {
+            snap.gauge(
+                "pcp_engine_level_files",
+                &[("shard", "0"), ("level", &l.to_string())],
+            )
+        })
+        .sum();
+    assert!(files > 0.0);
+    // The whole registry renders to valid exposition text.
+    pcp_obs::validate_exposition(&registry.render_prometheus()).unwrap();
+
+    // The trace saw the lifecycle: flushes and installed compactions.
+    let kinds: Vec<&str> = db.trace().events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"flush_done"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"compaction_picked"));
+    assert!(kinds.contains(&"compaction_installed"));
+    // MetricsSnapshot agrees with the registry.
+    let m = db.metrics();
+    assert_eq!(m.puts, 3000);
+    let per_level: u64 = m.levels.iter().map(|l| l.count).sum();
+    assert_eq!(per_level, m.compaction_count);
+    assert!(m.levels.iter().map(|l| l.input_bytes).sum::<u64>() <= m.compaction_input_bytes);
+}

@@ -1,0 +1,150 @@
+//! The two scalar instruments: monotone counters and float gauges.
+//!
+//! Both are single relaxed atomics — recording costs one `fetch_add` (or
+//! one store), and reading costs one load. The relaxed ordering is
+//! deliberate: these are statistics, read either after the workload
+//! quiesces or approximately for progress reporting, so no inter-counter
+//! ordering is required (the same argument `DeviceStats` makes).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing `u64` counter.
+///
+/// ```
+/// let c = pcp_obs::Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+///
+/// Gauges go up and down — active connections, occupancy fractions,
+/// queue depths. `set` is a plain store; `add` is a CAS loop, which is
+/// fine because gauges are written rarely (state transitions, not per-op).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    /// Hammering a counter from 8 threads loses no increments.
+    #[test]
+    fn counter_concurrent_increments_lose_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 100_000;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_balance_out() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let g = Arc::clone(&g);
+                let delta = if i % 2 == 0 { 1.0 } else { -1.0 };
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        g.add(delta);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -93,4 +93,14 @@ impl KvClient {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Fetches the server's full metrics registry in Prometheus text
+    /// exposition format (the contract is documented in
+    /// `OBSERVABILITY.md`).
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
 }

@@ -17,10 +17,10 @@
 //!   compacting shards to the core count (the C-PPCP resource argument
 //!   applied across shards),
 //! * a length-prefixed, CRC-32C-checksummed binary protocol
-//!   ([`proto`]) with GET/PUT/DELETE/BATCH/SCAN/STATS,
+//!   ([`proto`]) with GET/PUT/DELETE/BATCH/SCAN/STATS/METRICS,
 //! * [`KvServer`] — a thread-per-connection TCP service with graceful
-//!   shutdown and per-op latency capture — and the blocking
-//!   [`KvClient`].
+//!   shutdown, per-op latency capture, and Prometheus text exposition
+//!   of the full `pcp-obs` registry — and the blocking [`KvClient`].
 
 pub mod client;
 pub mod proto;

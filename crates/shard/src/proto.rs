@@ -9,14 +9,14 @@
 //! ```
 //!
 //! where `crc` is the masked CRC-32C of the payload, using the same
-//! [`pcp_codec::crc32c`] + [`pcp_codec::mask_crc`] convention as the
+//! [`pcp_codec::crc32c()`] + [`pcp_codec::mask_crc`] convention as the
 //! SSTable block trailer — a frame corrupted in flight or by a buggy
 //! client is rejected before it is interpreted. The payload is one
 //! message: an opcode byte followed by varint-length-prefixed fields
 //! ([`pcp_codec::put_u64`]).
 //!
-//! Requests: GET, PUT, DELETE, BATCH, SCAN, STATS.
-//! Responses: OK, VALUE, NOT_FOUND, ENTRIES, STATS, ERR.
+//! Requests: GET, PUT, DELETE, BATCH, SCAN, STATS, METRICS.
+//! Responses: OK, VALUE, NOT_FOUND, ENTRIES, STATS, ERR, METRICS_TEXT.
 
 use std::io::{self, Read, Write};
 
@@ -140,6 +140,7 @@ mod op {
     pub const BATCH: u8 = 0x04;
     pub const SCAN: u8 = 0x05;
     pub const STATS: u8 = 0x06;
+    pub const METRICS: u8 = 0x07;
 
     pub const OK: u8 = 0x80;
     pub const VALUE: u8 = 0x81;
@@ -147,6 +148,7 @@ mod op {
     pub const ENTRIES: u8 = 0x83;
     pub const STATS_REPLY: u8 = 0x84;
     pub const ERR: u8 = 0x85;
+    pub const METRICS_TEXT: u8 = 0x86;
 
     pub const ITEM_PUT: u8 = 0x00;
     pub const ITEM_DELETE: u8 = 0x01;
@@ -177,6 +179,9 @@ pub enum Request {
     Scan { start: Vec<u8>, limit: u64 },
     /// Fetch service + engine statistics.
     Stats,
+    /// Fetch the full metrics registry in Prometheus text exposition
+    /// format (see `OBSERVABILITY.md` for the metric contract).
+    Metrics,
 }
 
 /// A server → client message.
@@ -192,6 +197,8 @@ pub enum Response {
     Entries(Vec<(Vec<u8>, Vec<u8>)>),
     /// STATS result.
     Stats(ServiceStats),
+    /// METRICS result: Prometheus text exposition (UTF-8).
+    MetricsText(String),
     /// The request failed; human-readable reason.
     Err(String),
 }
@@ -262,6 +269,7 @@ impl Request {
                 pcp_codec::put_u64(&mut out, *limit);
             }
             Request::Stats => out.push(op::STATS),
+            Request::Metrics => out.push(op::METRICS),
         }
         out
     }
@@ -303,6 +311,7 @@ impl Request {
                 Request::Scan { start, limit }
             }
             op::STATS => Request::Stats,
+            op::METRICS => Request::Metrics,
             t => return Err(bad(format!("unknown request opcode {t:#04x}"))),
         };
         if !input.is_empty() {
@@ -350,6 +359,10 @@ impl Response {
                 for v in &s.per_shard_puts {
                     pcp_codec::put_u64(&mut out, *v);
                 }
+            }
+            Response::MetricsText(text) => {
+                out.push(op::METRICS_TEXT);
+                put_bytes(&mut out, text.as_bytes());
             }
             Response::Err(msg) => {
                 out.push(op::ERR);
@@ -404,6 +417,12 @@ impl Response {
                 }
                 Response::Stats(s)
             }
+            op::METRICS_TEXT => {
+                let text = take_bytes(&mut input)?;
+                let text = String::from_utf8(text)
+                    .map_err(|_| bad("metrics exposition is not UTF-8"))?;
+                Response::MetricsText(text)
+            }
             op::ERR => {
                 let msg = take_bytes(&mut input)?;
                 Response::Err(String::from_utf8_lossy(&msg).into_owned())
@@ -445,6 +464,7 @@ mod tests {
             limit: 500,
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -469,11 +489,24 @@ mod tests {
                 write_p99_nanos: 95_000,
                 per_shard_puts: vec![170, 180, 175, 175],
             }),
+            Response::MetricsText(
+                "# HELP pcp_service_requests_total requests served\n\
+                 # TYPE pcp_service_requests_total counter\n\
+                 pcp_service_requests_total 42\n"
+                    .into(),
+            ),
             Response::Err("shard 2 wedged".into()),
         ] {
             let payload = resp.encode();
             assert_eq!(Response::decode(&payload).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn non_utf8_metrics_text_rejected() {
+        let mut payload = vec![op::METRICS_TEXT];
+        put_bytes(&mut payload, &[0x80, 0xff, 0x00]);
+        assert!(Response::decode(&payload).is_err());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! service layer only frames requests, routes them, and measures them
 //! (per-op latency through [`pcp_workload::LatencyHistogram`], the same
 //! histogram the workload drivers report with).
+//!
+//! The server owns the process's [`pcp_obs::Registry`]: at startup it
+//! registers its own `pcp_service_*` series plus every shard's
+//! `pcp_engine_*` series (via [`ShardedDb::register_metrics`]), and the
+//! METRICS request renders the whole registry as Prometheus text
+//! exposition — the metric contract is documented in `OBSERVABILITY.md`.
 
 use crate::proto::{
     take_frame, write_frame, Request, Response, ServiceStats, SCAN_LIMIT_MAX,
@@ -30,11 +36,12 @@ struct ServerShared {
     db: Arc<ShardedDb>,
     /// Generation counter doubling as the shutdown flag: odd = draining.
     shutdown: std::sync::atomic::AtomicBool,
-    ops: AtomicU64,
-    errors: AtomicU64,
-    active_conns: AtomicUsize,
+    ops: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    active_conns: Arc<AtomicUsize>,
     read_latency: LatencyHistogram,
     write_latency: LatencyHistogram,
+    registry: pcp_obs::Registry,
     conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -96,6 +103,10 @@ impl ServerShared {
                 ))
             }
             Request::Stats => Ok((Response::Stats(self.stats()), &self.read_latency)),
+            Request::Metrics => Ok((
+                Response::MetricsText(self.registry.render_prometheus()),
+                &self.read_latency,
+            )),
         };
         match result {
             Ok((resp, histogram)) => {
@@ -124,14 +135,57 @@ impl KvServer {
     pub fn start(db: Arc<ShardedDb>, addr: impl ToSocketAddrs) -> io::Result<KvServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let ops = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let active_conns = Arc::new(AtomicUsize::new(0));
+        let read_latency = LatencyHistogram::new();
+        let write_latency = LatencyHistogram::new();
+        let registry = pcp_obs::Registry::new();
+        db.register_metrics(&registry);
+        {
+            let ops = Arc::clone(&ops);
+            registry.register_fn_counter(
+                "pcp_service_requests_total",
+                "requests served (all opcodes, successful or not)",
+                Vec::new(),
+                move || ops.load(Ordering::Relaxed),
+            );
+            let errors = Arc::clone(&errors);
+            registry.register_fn_counter(
+                "pcp_service_errors_total",
+                "requests that returned ERR",
+                Vec::new(),
+                move || errors.load(Ordering::Relaxed),
+            );
+            let active = Arc::clone(&active_conns);
+            registry.register_fn_gauge(
+                "pcp_service_active_connections",
+                "connections currently being served",
+                Vec::new(),
+                move || active.load(Ordering::SeqCst) as f64,
+            );
+            registry.register_histogram(
+                "pcp_service_read_latency_nanoseconds",
+                "server-side latency of read-class ops (GET/SCAN/STATS/METRICS)",
+                Vec::new(),
+                Arc::clone(read_latency.inner()),
+            );
+            registry.register_histogram(
+                "pcp_service_write_latency_nanoseconds",
+                "server-side latency of write-class ops (PUT/DELETE/BATCH)",
+                Vec::new(),
+                Arc::clone(write_latency.inner()),
+            );
+        }
         let shared = Arc::new(ServerShared {
             db,
             shutdown: std::sync::atomic::AtomicBool::new(false),
-            ops: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            active_conns: AtomicUsize::new(0),
-            read_latency: LatencyHistogram::new(),
-            write_latency: LatencyHistogram::new(),
+            ops,
+            errors,
+            active_conns,
+            read_latency,
+            write_latency,
+            registry,
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -159,6 +213,18 @@ impl KvServer {
     /// Server-side view of the same statistics STATS returns.
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats()
+    }
+
+    /// The Prometheus text exposition METRICS returns, rendered
+    /// server-side (no connection required).
+    pub fn metrics_text(&self) -> String {
+        self.shared.registry.render_prometheus()
+    }
+
+    /// The server's metrics registry, for registering additional
+    /// collectors (e.g. device stats) into the same exposition.
+    pub fn registry(&self) -> &pcp_obs::Registry {
+        &self.shared.registry
     }
 
     /// Stops accepting, drains in-flight connections, and joins every

@@ -318,6 +318,40 @@ impl ShardedDb {
         self.shards.iter().map(|db| db.metrics()).collect()
     }
 
+    /// Registers every shard's engine metrics in `registry`, each series
+    /// labelled `shard="<index>"`, plus the shared compaction-limiter
+    /// gauges (`pcp_engine_compaction_permits`,
+    /// `pcp_engine_compactions_in_use`, `pcp_engine_compactions_peak`).
+    /// Scrapes read the shards' live atomics — registration is one-time,
+    /// snapshotting is lock-free on the counter path.
+    pub fn register_metrics(&self, registry: &pcp_obs::Registry) {
+        for (i, db) in self.shards.iter().enumerate() {
+            db.register_metrics(registry, &[("shard", &i.to_string())]);
+        }
+        type Getter = fn(&CompactionLimiter) -> usize;
+        let gauges: [(&str, &str, Getter); 3] = [
+            (
+                "pcp_engine_compaction_permits",
+                "size of the shared compaction admission pool",
+                |l| l.permits(),
+            ),
+            (
+                "pcp_engine_compactions_in_use",
+                "compaction permits currently held",
+                |l| l.in_use(),
+            ),
+            (
+                "pcp_engine_compactions_peak",
+                "high-water mark of simultaneously held permits",
+                |l| l.peak(),
+            ),
+        ];
+        for (name, help, get) in gauges {
+            let limiter = Arc::clone(&self.limiter);
+            registry.register_fn_gauge(name, help, Vec::new(), move || get(&limiter) as f64);
+        }
+    }
+
     /// Per-level (file count, bytes) summed over every shard.
     pub fn level_summary(&self) -> Vec<(usize, u64)> {
         let mut total = vec![(0usize, 0u64); NUM_LEVELS];
@@ -450,6 +484,11 @@ fn merge_metrics(total: &mut MetricsSnapshot, m: &MetricsSnapshot) {
     total.gc_deleted_files += m.gc_deleted_files;
     total.gc_delete_errors += m.gc_delete_errors;
     total.bg_retries += m.bg_retries;
+    for (t, l) in total.levels.iter_mut().zip(m.levels.iter()) {
+        t.count += l.count;
+        t.input_bytes += l.input_bytes;
+        t.output_bytes += l.output_bytes;
+    }
 }
 
 impl pcp_workload::KvStore for ShardedDb {

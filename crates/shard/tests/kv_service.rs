@@ -187,6 +187,66 @@ fn kv_service_concurrent_clients() {
     server.shutdown();
 }
 
+/// METRICS round-trips over TCP, the exposition parses line by line, and
+/// the series it carries agree with STATS and the server-side render.
+#[test]
+fn kv_service_metrics_exposition() {
+    let db = sharded(2);
+    let mut server = KvServer::start(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let mut client = KvClient::connect(server.local_addr()).unwrap();
+
+    for i in 0..500u32 {
+        let key = format!("m{i:05}").into_bytes();
+        client.put(&key, format!("v{i}").as_bytes()).unwrap();
+    }
+    for i in 0..100u32 {
+        let key = format!("m{i:05}").into_bytes();
+        assert!(client.get(&key).unwrap().is_some());
+    }
+
+    let text = client.metrics_text().unwrap();
+    // Every line is well-formed Prometheus text exposition.
+    let samples = pcp_obs::validate_exposition(&text).unwrap();
+    assert!(samples > 50, "suspiciously small exposition: {samples} samples");
+
+    // Service series are present and consistent with STATS.
+    let stats = client.stats().unwrap();
+    let requests_line = text
+        .lines()
+        .find(|l| l.starts_with("pcp_service_requests_total"))
+        .expect("pcp_service_requests_total missing");
+    let served: u64 = requests_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(
+        served >= 601 && served <= stats.ops,
+        "served {served} vs stats.ops {}",
+        stats.ops
+    );
+    assert!(text.contains("pcp_service_read_latency_nanoseconds_bucket"));
+    assert!(text.contains("pcp_service_active_connections"));
+
+    // Engine series carry per-shard labels for every shard.
+    for shard in 0..2 {
+        assert!(
+            text.contains(&format!("pcp_engine_puts_total{{shard=\"{shard}\"}}")),
+            "missing per-shard puts for shard {shard}"
+        );
+    }
+    // Shared limiter gauges ride along.
+    assert!(text.contains("pcp_engine_compaction_permits"));
+
+    // The wire text is the same render the server exposes locally, modulo
+    // counters that moved between the two scrapes.
+    let local = server.metrics_text();
+    pcp_obs::validate_exposition(&local).unwrap();
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        local.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        "wire and local expositions expose different series"
+    );
+
+    server.shutdown();
+}
+
 #[test]
 fn kv_service_error_and_edge_paths() {
     let db = sharded(2);

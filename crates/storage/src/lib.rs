@@ -43,7 +43,7 @@ pub use retry::{is_transient, with_retry, RetryPolicy};
 pub use model::{HddModel, IoKind, LatencyModel, NullModel, SsdModel};
 pub use raid::Raid0;
 pub use sim_env::SimEnv;
-pub use stats::DeviceStats;
+pub use stats::{register_device_metrics, DeviceStats};
 pub use std_env::StdFsEnv;
 pub use trace::{TraceDevice, TraceRecord};
 

@@ -5,7 +5,9 @@
 //! so no ordering is required beyond atomicity — see the "Statistics"
 //! discussion in Mara Bos's *Rust Atomics and Locks*, ch. 2/3.
 
+use pcp_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Monotone counters for one device (or one RAID array).
@@ -20,6 +22,10 @@ pub struct DeviceStats {
     busy_nanos: AtomicU64,
     /// Modeled seek/access overhead within `busy_nanos`, nanoseconds.
     seek_nanos: AtomicU64,
+    /// Per-op modeled service-time distribution, reads (nanoseconds).
+    read_latency: Arc<Histogram>,
+    /// Per-op modeled service-time distribution, writes (nanoseconds).
+    write_latency: Arc<Histogram>,
 }
 
 impl DeviceStats {
@@ -33,6 +39,7 @@ impl DeviceStats {
         self.read_bytes.fetch_add(bytes, Relaxed);
         self.busy_nanos.fetch_add(busy.as_nanos() as u64, Relaxed);
         self.seek_nanos.fetch_add(seek.as_nanos() as u64, Relaxed);
+        self.read_latency.record_duration(busy);
     }
 
     pub(crate) fn record_write(&self, bytes: u64, busy: Duration, seek: Duration) {
@@ -40,6 +47,7 @@ impl DeviceStats {
         self.write_bytes.fetch_add(bytes, Relaxed);
         self.busy_nanos.fetch_add(busy.as_nanos() as u64, Relaxed);
         self.seek_nanos.fetch_add(seek.as_nanos() as u64, Relaxed);
+        self.write_latency.record_duration(busy);
     }
 
     /// Number of read operations serviced.
@@ -72,6 +80,16 @@ impl DeviceStats {
         Duration::from_nanos(self.seek_nanos.load(Relaxed))
     }
 
+    /// Per-op modeled read service-time distribution (nanoseconds).
+    pub fn read_latency(&self) -> &Arc<Histogram> {
+        &self.read_latency
+    }
+
+    /// Per-op modeled write service-time distribution (nanoseconds).
+    pub fn write_latency(&self) -> &Arc<Histogram> {
+        &self.write_latency
+    }
+
     /// Snapshot of all counters, for before/after deltas.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -83,6 +101,51 @@ impl DeviceStats {
             seek_time: self.seek_time(),
         }
     }
+}
+
+/// Registers `device`'s counters and latency histograms in `registry`
+/// under the `pcp_device_*` namespace, labelled `device="<label>"`.
+/// Counters are exported by closure collector (the device keeps its own
+/// atomics, read at scrape time); the latency histograms are shared by
+/// `Arc`, so the registry sees every sample the device records. Works for
+/// any [`BlockDevice`](crate::BlockDevice) — [`SimDevice`](crate::SimDevice),
+/// [`Raid0`](crate::Raid0) (whose array-level stats aggregate its members),
+/// or a trace wrapper.
+pub fn register_device_metrics(
+    registry: &pcp_obs::Registry,
+    label: &str,
+    device: &crate::DeviceRef,
+) {
+    let labels = vec![("device".to_string(), label.to_string())];
+    type Getter = fn(&DeviceStats) -> u64;
+    let counters: [(&str, &str, Getter); 6] = [
+        ("pcp_device_read_ops_total", "read operations serviced", |s| s.read_ops()),
+        ("pcp_device_read_bytes_total", "bytes read", |s| s.read_bytes()),
+        ("pcp_device_write_ops_total", "write operations serviced", |s| s.write_ops()),
+        ("pcp_device_write_bytes_total", "bytes written", |s| s.write_bytes()),
+        ("pcp_device_busy_nanoseconds_total", "modeled device busy time", |s| {
+            s.busy_nanos.load(Relaxed)
+        }),
+        ("pcp_device_seek_nanoseconds_total", "modeled positioning time within busy time", |s| {
+            s.seek_nanos.load(Relaxed)
+        }),
+    ];
+    for (name, help, get) in counters {
+        let dev = Arc::clone(device);
+        registry.register_fn_counter(name, help, labels.clone(), move || get(dev.stats()));
+    }
+    registry.register_histogram(
+        "pcp_device_read_latency_nanoseconds",
+        "per-op modeled read service time",
+        labels.clone(),
+        Arc::clone(device.stats().read_latency()),
+    );
+    registry.register_histogram(
+        "pcp_device_write_latency_nanoseconds",
+        "per-op modeled write service time",
+        labels,
+        Arc::clone(device.stats().write_latency()),
+    );
 }
 
 /// Plain-data copy of [`DeviceStats`] at one instant.
@@ -126,6 +189,56 @@ mod tests {
         assert_eq!(s.write_bytes(), 8192);
         assert_eq!(s.busy(), Duration::from_micros(250));
         assert_eq!(s.seek_time(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn latency_histograms_track_ops() {
+        let s = DeviceStats::new();
+        s.record_read(4096, Duration::from_micros(100), Duration::ZERO);
+        s.record_write(4096, Duration::from_micros(50), Duration::ZERO);
+        s.record_write(4096, Duration::from_micros(70), Duration::ZERO);
+        assert_eq!(s.read_latency().count(), 1);
+        assert_eq!(s.write_latency().count(), 2);
+        assert_eq!(s.read_latency().max(), 100_000);
+        assert!(s.write_latency().mean() >= 50_000);
+    }
+
+    #[test]
+    fn register_device_metrics_exports_counters_and_histograms() {
+        use crate::{DeviceRef, SimDevice};
+        let dev: DeviceRef = Arc::new(SimDevice::mem(1 << 20));
+        dev.write_at(0, &[7u8; 4096]).unwrap();
+        dev.read_at(0, 4096).unwrap();
+        let registry = pcp_obs::Registry::new();
+        register_device_metrics(&registry, "mem0", &dev);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("pcp_device_read_ops_total", &[("device", "mem0")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("pcp_device_write_bytes_total", &[("device", "mem0")]),
+            4096
+        );
+        // Ops recorded after registration are visible too (shared state).
+        dev.read_at(0, 512).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("pcp_device_read_ops_total", &[("device", "mem0")]),
+            2
+        );
+        match &snap
+            .get_with(
+                "pcp_device_read_latency_nanoseconds",
+                &[("device", "mem0")],
+            )
+            .unwrap()
+            .value
+        {
+            pcp_obs::SampleValue::Histogram(h) => assert_eq!(h.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        pcp_obs::validate_exposition(&registry.render_prometheus()).unwrap();
     }
 
     #[test]

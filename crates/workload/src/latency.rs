@@ -1,111 +1,62 @@
-//! Log-bucketed latency histogram.
+//! Duration-facing latency histogram.
 //!
-//! Fixed memory, lock-free recording, ~4 % quantile resolution: buckets
-//! are powers of 2^(1/8) nanoseconds. Used by the mixed-workload driver
-//! to report p50/p99/p999 operation latencies.
+//! A thin wrapper over [`pcp_obs::Histogram`] — the workspace's one
+//! log-bucketed histogram implementation — that records and reports
+//! [`Duration`]s instead of raw nanosecond counts. The underlying
+//! histogram is shared via [`LatencyHistogram::inner`], so a server can
+//! hand the same instance to a [`pcp_obs::Registry`] and have every
+//! sample this wrapper records show up in the exposition.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use pcp_obs::Histogram;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// 8 sub-buckets per octave, 40 octaves: 1 ns … ~18 minutes.
-const SUB: usize = 8;
-const BUCKETS: usize = SUB * 40;
-
-/// Concurrent latency histogram.
+/// Concurrent latency histogram (nanosecond samples, ~12.5 % resolution).
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    buckets: Box<[AtomicU64; BUCKETS]>,
-    count: AtomicU64,
-    sum_nanos: AtomicU64,
-    max_nanos: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: Arc<Histogram>,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
-            count: AtomicU64::new(0),
-            sum_nanos: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-        }
+        LatencyHistogram::default()
     }
 
-    #[inline]
-    fn bucket_of(nanos: u64) -> usize {
-        // Values below 24 ns get exact buckets; beyond that, one octave
-        // per 8 buckets with 3 bits of mantissa.
-        if nanos < 24 {
-            return nanos as usize;
-        }
-        let log2 = 63 - nanos.leading_zeros() as usize;
-        let frac = (nanos >> (log2 - 3)) & 0x7;
-        (log2 * SUB + frac as usize).min(BUCKETS - 1)
-    }
-
-    /// Lower bound of bucket `i` in nanoseconds.
-    fn bucket_floor(i: usize) -> u64 {
-        if i < 24 {
-            return i as u64;
-        }
-        let log2 = i / SUB;
-        let frac = (i % SUB) as u64;
-        (1u64 << log2) + (frac << (log2 - 3))
+    /// The shared underlying histogram, for registry registration
+    /// ([`pcp_obs::Registry::register_histogram`]).
+    pub fn inner(&self) -> &Arc<Histogram> {
+        &self.inner
     }
 
     /// Records one sample.
     pub fn record(&self, d: Duration) {
-        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
-        self.sum_nanos.fetch_add(nanos, Relaxed);
-        self.max_nanos.fetch_max(nanos, Relaxed);
+        self.inner.record_duration(d);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Relaxed)
+        self.inner.count()
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.count() == 0
+        self.inner.is_empty()
     }
 
     /// Mean latency.
     pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_nanos.load(Relaxed) / n)
+        Duration::from_nanos(self.inner.mean())
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos.load(Relaxed))
+        Duration::from_nanos(self.inner.max())
     }
 
     /// Approximate quantile `q` ∈ \[0,1\] (bucket lower bound).
     pub fn quantile(&self, q: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((n as f64 * q).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Relaxed);
-            if seen >= rank {
-                return Duration::from_nanos(Self::bucket_floor(i));
-            }
-        }
-        self.max()
+        self.inner.quantile_duration(q)
     }
 
     /// One-line summary: `count mean p50 p99 p999 max`.
@@ -157,52 +108,24 @@ mod tests {
         assert!(h.quantile(1.0) >= h.quantile(0.5));
     }
 
+    /// Clones share the underlying histogram, so a registered copy sees
+    /// samples recorded through the original.
     #[test]
-    fn quantiles_are_monotone() {
+    fn clones_share_samples() {
         let h = LatencyHistogram::new();
-        let mut x = 12345u64;
-        for _ in 0..5000 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            h.record(Duration::from_nanos(x % 10_000_000));
-        }
-        let mut prev = Duration::ZERO;
-        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
-            let v = h.quantile(q);
-            assert!(v >= prev, "quantile({q}) regressed");
-            prev = v;
-        }
-    }
-
-    #[test]
-    fn bucket_mapping_is_monotone_nondecreasing() {
-        let mut prev = 0usize;
-        for nanos in [1u64, 2, 3, 7, 8, 9, 100, 1000, 1 << 20, 1 << 40] {
-            let b = LatencyHistogram::bucket_of(nanos);
-            assert!(b >= prev, "bucket({nanos}) = {b} < {prev}");
-            prev = b;
-        }
-        // For any sample: its bucket's floor is ≤ the sample and maps back
-        // to the same bucket (round-trip consistency on reachable buckets).
-        for nanos in [0u64, 1, 5, 23, 24, 100, 999, 4096, 1 << 19, (1 << 30) + 7] {
-            let b = LatencyHistogram::bucket_of(nanos);
-            let floor = LatencyHistogram::bucket_floor(b);
-            assert!(floor <= nanos.max(1), "floor({b})={floor} > {nanos}");
-            assert_eq!(
-                LatencyHistogram::bucket_of(floor),
-                b,
-                "floor of bucket({nanos}) does not map back"
-            );
-        }
+        let registered = h.inner().clone();
+        h.record(Duration::from_micros(5));
+        h.clone().record(Duration::from_micros(7));
+        assert_eq!(registered.count(), 2);
+        assert_eq!(h.count(), 2);
     }
 
     #[test]
     fn concurrent_recording() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let h = LatencyHistogram::new();
         let threads: Vec<_> = (0..4)
             .map(|t| {
-                let h = std::sync::Arc::clone(&h);
+                let h = h.clone();
                 std::thread::spawn(move || {
                     for i in 0..1000u64 {
                         h.record(Duration::from_nanos((t + 1) * 1000 + i));

@@ -138,6 +138,27 @@ fn main() {
     );
     println!("health: {:?}", db.health());
 
+    // Observability: the same registry backs the METRICS wire op and the
+    // machine-readable JSON snapshot (metric contract: OBSERVABILITY.md).
+    let exposition = client.metrics_text().unwrap();
+    let sample_lines = pcp::obs::validate_exposition(&exposition).unwrap();
+    println!("metrics: {sample_lines} samples over the wire; service series:");
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("pcp_service_") && !l.contains("_bucket"))
+        .take(6)
+    {
+        println!("  {line}");
+    }
+    let json = server.registry().snapshot().to_json();
+    let json_path = std::env::temp_dir().join("pcp_kv_server_obs.json");
+    std::fs::write(&json_path, format!("{json}\n")).unwrap();
+    println!(
+        "metrics: full JSON snapshot ({} bytes) written to {}",
+        json.len(),
+        json_path.display()
+    );
+
     drop(client);
     server.shutdown();
     println!("server drained and stopped");

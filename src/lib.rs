@@ -42,6 +42,7 @@
 //! | [`sim`] | `pcp-sim` | discrete-event pipeline simulator |
 //! | [`workload`] | `pcp-workload` | key/value generators and insert drivers |
 //! | [`shard`] | `pcp-shard` | range-sharded multi-DB engine and the TCP KV service |
+//! | [`obs`] | `pcp-obs` | metrics registry, Prometheus exposition, pipeline event traces |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -49,6 +50,7 @@
 pub use pcp_codec as codec;
 pub use pcp_core as core;
 pub use pcp_lsm as lsm;
+pub use pcp_obs as obs;
 pub use pcp_shard as shard;
 pub use pcp_sim as sim;
 pub use pcp_sstable as sstable;
@@ -58,6 +60,7 @@ pub use pcp_workload as workload;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use pcp_core::{PipelineConfig, PipelinedExec, ScpExec};
+    pub use pcp_obs::{MetricsSnapshot, Registry, TraceLog};
     pub use pcp_lsm::{CompactionLimiter, CompactionPolicy, Db, DbHealth, Options, WriteBatch};
     pub use pcp_shard::{HashRouter, KvClient, KvServer, RangeRouter, ShardedDb, ShardedHealth};
     pub use pcp_storage::{Env, FaultEnv, FaultKind, FaultOp, HddModel, Raid0, RetryPolicy, SimDevice, SimEnv, SsdModel, StdFsEnv};
