@@ -15,15 +15,19 @@
 //!   step and decompression the cheapest, matching the paper's profile.
 //! * [`varint`] — LEB128-style unsigned varints shared by the block format,
 //!   the WAL and the manifest.
+//! * [`le`] — bounds-checked little-endian integer reads shared by every
+//!   wire format (WAL, SSTable trailers, service frames).
 //!
 //! All functions are pure and allocation-conscious: the hot paths take
 //! `&mut Vec<u8>` outputs so buffers can be reused across pipeline stages.
 
 pub mod crc32c;
+pub mod le;
 pub mod lz;
 pub mod varint;
 
 pub use crc32c::{crc32c, mask_crc, unmask_crc, Crc32c};
+pub use le::{read_u32_le, read_u64_le};
 pub use lz::{compress, decompress, decompressed_len, max_compressed_len, LzError};
 pub use varint::{
     decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u64, put_u32, put_u64,

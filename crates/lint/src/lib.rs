@@ -1,0 +1,271 @@
+//! # pcp-lint
+//!
+//! A from-scratch architectural linter for this workspace (DESIGN.md §11).
+//! It walks every Rust source file, splits code from comments and literals
+//! with a hand-rolled lexer ([`lexer`]), and enforces the repo-specific
+//! invariants L1–L5 ([`rules`]) that `rustc`/clippy cannot know about:
+//! Env-mediated I/O (so `FaultEnv` provably covers it), justified `unsafe`,
+//! panic-free library code, deterministic model code, and self-contained
+//! vendor shims.
+//!
+//! Findings print as `file:line: rule: message`; a nonzero exit fails CI.
+//! Suppressions live in `lint.allow` at the repository root — one line per
+//! file/rule pair, each carrying a human justification. Stale or malformed
+//! allowlist entries are themselves findings, so the allowlist cannot rot.
+//!
+//! Run it with `cargo run -p pcp-lint --release` from the workspace root.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repository-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule tag: `L1`–`L5`, `stale-allow` or `allow-syntax`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(file: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule set applies to a file — decided purely from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/*/src/**` and `src/**`: full L1–L4 discipline.
+    Library,
+    /// Tests, benches and examples: crash-on-failure is idiomatic there,
+    /// and several deliberately demonstrate direct `std::fs` usage; only
+    /// the `unsafe`-justification rule (L2) applies.
+    Harness,
+    /// `vendor/*/src/**`: only the isolation rule (L5) applies.
+    Vendor,
+    /// `vendor/*/Cargo.toml`: checked textually for workspace deps.
+    VendorManifest,
+}
+
+/// Classifies a repository-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("vendor/") {
+        if rel.ends_with("Cargo.toml") {
+            return FileClass::VendorManifest;
+        }
+        return FileClass::Vendor;
+    }
+    let harness = ["/tests/", "/benches/", "/examples/"]
+        .iter()
+        .any(|d| rel.contains(d))
+        || ["tests/", "benches/", "examples/"]
+            .iter()
+            .any(|d| rel.starts_with(d));
+    if harness {
+        return FileClass::Harness;
+    }
+    if rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")) {
+        return FileClass::Library;
+    }
+    // Anything else (build scripts, stray top-level files) gets the
+    // permissive harness treatment.
+    FileClass::Harness
+}
+
+/// Lints a single source file under its repository-relative path. This is
+/// the entry point the fixture tests use.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel);
+    if class == FileClass::VendorManifest {
+        return lint_vendor_manifest(rel, source);
+    }
+    rules::lint_prepared(rel, &lexer::prepare(source), class)
+}
+
+/// L5 for manifests: a vendored shim's `Cargo.toml` must not declare
+/// dependencies pointing back into the workspace.
+fn lint_vendor_manifest(rel: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        if line.contains("crates/") || !lexer::prefix_offsets(line, "pcp-").is_empty() {
+            findings.push(Finding::new(
+                rel,
+                i + 1,
+                "L5",
+                "vendored shim manifest depends on a workspace crate".to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+/// One `lint.allow` suppression: `<rule> <path> <justification…>`.
+struct AllowEntry {
+    rule: String,
+    path: String,
+    line: usize,
+    used: bool,
+}
+
+/// Parses `lint.allow`. Malformed lines (missing path or justification)
+/// become `allow-syntax` findings.
+fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+        let justification = parts.next().unwrap_or("").trim();
+        if path.is_empty() || justification.is_empty() {
+            findings.push(Finding::new(
+                "lint.allow",
+                i + 1,
+                "allow-syntax",
+                "allowlist entry needs `<rule> <path> <justification>`".to_string(),
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule,
+            path,
+            line: i + 1,
+            used: false,
+        });
+    }
+    (entries, findings)
+}
+
+/// The result of a full repository scan.
+pub struct Report {
+    /// Surviving findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned (sources and vendor manifests).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// The CI summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} files scanned, {} findings",
+            self.files_scanned,
+            self.findings.len()
+        )
+    }
+}
+
+/// Directory names never descended into, at any depth.
+const SKIP_DIRS: [&str; 4] = ["target", "bench_results", ".git", "node_modules"];
+
+/// The seeded-violation corpus for pcp-lint's own tests: deliberately full
+/// of findings, never part of the repository scan.
+const FIXTURE_DIR: &str = "crates/lint/tests/fixtures";
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| io::Error::other("walked outside the scan root"))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') || rel == FIXTURE_DIR {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") || (name == "Cargo.toml" && rel.starts_with("vendor/")) {
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Scans the repository at `root`, applies `lint.allow`, and returns the
+/// surviving findings plus scan statistics.
+pub fn lint_repo(root: &Path) -> io::Result<Report> {
+    let allow_text = match std::fs::read_to_string(root.join("lint.allow")) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let (mut allow, mut findings) = parse_allowlist(&allow_text);
+
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    let files_scanned = files.len();
+
+    for (rel, path) in &files {
+        let bytes = std::fs::read(path)?;
+        let source = String::from_utf8_lossy(&bytes);
+        for finding in lint_source(rel, &source) {
+            let suppressed = allow.iter_mut().find(|entry| {
+                entry.rule == finding.rule && entry.path == finding.file
+            });
+            match suppressed {
+                Some(entry) => entry.used = true,
+                None => findings.push(finding),
+            }
+        }
+    }
+
+    for entry in &allow {
+        if !entry.used {
+            findings.push(Finding::new(
+                "lint.allow",
+                entry.line,
+                "stale-allow",
+                format!(
+                    "allowlist entry `{} {}` matched nothing — remove it",
+                    entry.rule, entry.path
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}

@@ -1,0 +1,18 @@
+// Fixture: direct OS I/O in library code. Every line tagged with a
+// trailing LINT marker comment must be flagged.
+
+pub fn read_config(path: &str) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path) // LINT:L1
+}
+
+pub fn open_raw(path: &str) -> std::io::Result<std::fs::File> { // LINT:L1
+    std::fs::File::open(path) // LINT:L1
+}
+
+pub fn create_it(path: &str) {
+    let _ = File::create(path); // LINT:L1
+}
+
+pub fn dial(addr: &str) {
+    let _ = std::net::TcpStream::connect(addr); // LINT:L1
+}

@@ -1,0 +1,28 @@
+// Fixture: every unsafe is justified, declared, or test-only.
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is only dereferenced behind a lock.
+unsafe impl Send for Wrapper {}
+
+/// # Safety
+/// `p` must be valid. Declaring an unsafe fn states a contract and is
+/// not itself flagged — the caller's unsafe block is.
+pub unsafe fn contract(p: *const u32) -> u32 {
+    // SAFETY: forwarded from our own contract.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unsafe_is_unchecked() {
+        let x = 7u32;
+        assert_eq!(unsafe { *(&x as *const u32) }, 7);
+    }
+}

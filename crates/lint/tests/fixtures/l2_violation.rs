@@ -1,0 +1,20 @@
+// Fixture: unsafe without a SAFETY justification.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p } // LINT:L2
+}
+
+pub struct Wrapper(*mut u8);
+
+// This comment is not a safety argument.
+unsafe impl Send for Wrapper {} // LINT:L2
+
+pub fn too_far(p: *const u32) -> u32 {
+    // SAFETY: this comment is six lines above the unsafe block,
+    // which is outside the window the rule accepts.
+    let _a = 1;
+    let _b = 2;
+    let _c = 3;
+    let _d = 4;
+    unsafe { *p } // LINT:L2
+}

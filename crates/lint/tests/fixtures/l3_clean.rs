@@ -1,0 +1,21 @@
+// Fixture: library code propagates errors; tests may still unwrap, and
+// lookalike identifiers or literals do not count.
+
+pub fn propagates(v: Option<u32>) -> Result<u32, &'static str> {
+    let my_unwrap = "call .unwrap() and panic!"; // inside a literal: fine
+    let _ = my_unwrap;
+    v.ok_or("value unset")
+}
+
+pub fn unwrap_window(w: &mut Vec<u32>) {
+    // An fn named like the needle is not a call to it.
+    w.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::propagates(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: aborting in library code.
+
+pub fn takes_shortcuts(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap(); // LINT:L3
+    let b = r.expect("always ok"); // LINT:L3
+    if a + b == 0 {
+        panic!("impossible"); // LINT:L3
+    }
+    a + b
+}

@@ -1,0 +1,15 @@
+// Fixture: deterministic-model code takes time as an input.
+
+pub fn advance(now_ns: u64, dt_ns: u64) -> u64 {
+    now_ns + dt_ns
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_measure() {
+        let t0 = std::time::Instant::now();
+        assert_eq!(super::advance(1, 2), 3);
+        let _ = t0.elapsed();
+    }
+}

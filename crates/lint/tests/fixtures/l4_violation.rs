@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in deterministic-model code (linted under a
+// `crates/sim/src/` path).
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now(); // LINT:L4
+    let _ = t;
+    let s = std::time::SystemTime::now(); // LINT:L4
+    let _ = s;
+    0
+}

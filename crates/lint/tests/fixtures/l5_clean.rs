@@ -1,0 +1,13 @@
+// Fixture: a self-contained vendored shim. Inside vendor/, only the
+// isolation rule applies — unwrap and direct std::fs are allowed here.
+
+use std::fs;
+
+pub fn shim(path: &str) -> Vec<u8> {
+    fs::read(path).unwrap()
+}
+
+pub fn not_a_workspace_ref() {
+    let my_pcp_core = 1; // `pcp_` not at an identifier start: fine
+    let _ = my_pcp_core;
+}

@@ -1,0 +1,8 @@
+// Fixture: a vendored shim reaching back into the workspace (linted
+// under a `vendor/` path).
+
+use pcp_core::Pipeline; // LINT:L5
+
+pub fn smuggle() {
+    let _ = pcp_lsm::Db::open; // LINT:L5
+}

@@ -229,8 +229,10 @@ impl WriteBatch {
         if record.len() < 12 {
             return Err(corrupt("batch record too short"));
         }
-        let seq = u64::from_le_bytes(record[..8].try_into().unwrap());
-        let count = u32::from_le_bytes(record[8..12].try_into().unwrap());
+        let seq = pcp_codec::read_u64_le(record, 0)
+            .ok_or_else(|| corrupt("batch record too short for sequence"))?;
+        let count = pcp_codec::read_u32_le(record, 8)
+            .ok_or_else(|| corrupt("batch record too short for count"))?;
         let mut batch = WriteBatch::new();
         let mut input = &record[12..];
         for _ in 0..count {
@@ -522,8 +524,7 @@ impl Db {
         let worker = Arc::clone(&inner);
         let bg_thread = std::thread::Builder::new()
             .name("pcp-lsm-bg".into())
-            .spawn(move || worker.background_loop())
-            .expect("spawn background thread");
+            .spawn(move || worker.background_loop())?;
 
         Ok(Db {
             inner,

@@ -21,6 +21,8 @@
 //!   outgrows compaction, reproducing the *write pauses* that tie system
 //!   throughput to compaction bandwidth (the paper's central coupling).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod compact;
 pub mod db;
 pub mod edit;

@@ -144,6 +144,8 @@ impl Memtable {
         let ikey = make_internal_key(user_key_bytes, sequence, value_type);
         let mut prevs = [ptr::null_mut(); MAX_HEIGHT];
         let existing = self.find_greater_or_equal(&ikey, Some(&mut prevs));
+        // SAFETY: `existing` is null or a published node; published nodes
+        // are fully initialized and never freed while `self` lives.
         debug_assert!(
             existing.is_null()
                 || internal_key_cmp(unsafe { &(*existing).ikey }, &ikey) != Ordering::Equal,
@@ -229,13 +231,19 @@ impl Memtable {
 
 impl Drop for Memtable {
     fn drop(&mut self) {
-        // Exclusive access: free the level-0 chain and the head node.
+        // SAFETY: `&mut self` proves exclusive access — no reader or writer
+        // is live — so walking the level-0 chain and freeing each node
+        // (every node is reachable at level 0 exactly once) is sound.
         let mut node = unsafe { (*self.head).next(0) };
         while !node.is_null() {
+            // SAFETY: `node` is non-null, was allocated by `Box::into_raw`
+            // in `insert`, and is unlinked from the walk before being freed.
             let next = unsafe { (*node).next(0) };
             drop(unsafe { Box::from_raw(node) });
             node = next;
         }
+        // SAFETY: the head node was allocated by `Box::into_raw` in `new`
+        // and is freed exactly once, here.
         drop(unsafe { Box::from_raw(self.head) });
     }
 }
@@ -256,6 +264,7 @@ impl KvIter for MemtableIter {
     }
 
     fn seek_to_first(&mut self) {
+        // SAFETY: `head` lives as long as the Arc held by this iterator.
         self.node = unsafe { (*self.mt.head).next(0) };
     }
 
@@ -265,16 +274,20 @@ impl KvIter for MemtableIter {
 
     fn next(&mut self) {
         debug_assert!(self.valid());
+        // SAFETY: `valid()` means `node` is a published node kept alive by
+        // the Arc-held skiplist; published nodes are never freed before it.
         self.node = unsafe { (*self.node).next(0) };
     }
 
     fn key(&self) -> &[u8] {
         debug_assert!(self.valid());
+        // SAFETY: as in `next` — a valid cursor points at a published node.
         unsafe { &(*self.node).ikey }
     }
 
     fn value(&self) -> &[u8] {
         debug_assert!(self.valid());
+        // SAFETY: as in `next` — a valid cursor points at a published node.
         unsafe { &(*self.node).value }
     }
 }

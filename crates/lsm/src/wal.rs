@@ -81,8 +81,15 @@ impl WalReader {
             return Ok(None);
         }
         let header = self.file.read_at(self.offset, HEADER)?;
-        let stored_crc = unmask_crc(u32::from_le_bytes(header[..4].try_into().unwrap()));
-        let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as u64;
+        let (Some(crc_word), Some(len_word)) = (
+            pcp_codec::read_u32_le(&header, 0),
+            pcp_codec::read_u32_le(&header, 4),
+        ) else {
+            self.corruption_detected = true; // short header read
+            return Ok(None);
+        };
+        let stored_crc = unmask_crc(crc_word);
+        let len = len_word as u64;
         if self.offset + HEADER as u64 + len > self.file.len() {
             self.corruption_detected = true; // torn tail
             return Ok(None);

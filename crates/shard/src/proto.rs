@@ -79,7 +79,8 @@ pub fn take_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let len = pcp_codec::read_u32_le(buf, 0)
+        .ok_or_else(|| bad("frame header shorter than length prefix"))? as usize;
     if len > MAX_FRAME {
         return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
     }
@@ -88,7 +89,8 @@ pub fn take_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
         return Ok(None);
     }
     let payload = buf[4..4 + len].to_vec();
-    let crc = u32::from_le_bytes(buf[4 + len..total].try_into().unwrap());
+    let crc = pcp_codec::read_u32_le(buf, 4 + len)
+        .ok_or_else(|| bad("frame trailer shorter than checksum"))?;
     check_crc(&payload, crc)?;
     buf.drain(..total);
     Ok(Some(payload))

@@ -191,8 +191,7 @@ impl KvServer {
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("pcp-kv-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, accept_shared))?;
         Ok(KvServer {
             local_addr,
             shared,
@@ -266,15 +265,22 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
             return;
         }
         let conn_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("pcp-kv-conn".into())
             .spawn(move || {
                 conn_shared.active_conns.fetch_add(1, Ordering::SeqCst);
                 let _ = serve_connection(stream, &conn_shared);
                 conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-            })
-            .expect("spawn connection thread");
-        shared.conns.lock().push(handle);
+            });
+        match spawned {
+            Ok(handle) => shared.conns.lock().push(handle),
+            // Thread exhaustion: shed this connection (the stream was moved
+            // into the failed closure and is already closed) and keep
+            // accepting rather than taking the whole service down.
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 

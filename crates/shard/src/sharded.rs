@@ -98,7 +98,10 @@ impl ShardedDb {
         let envs = (0..router.shards())
             .map(|i| {
                 let opts = base.in_subdir(format!("shard-{i:03}"));
-                let env: EnvRef = Arc::new(StdFsEnv::new(opts.dir.as_ref().unwrap())?);
+                let dir = opts.dir.as_ref().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "shard subdirectory unset")
+                })?;
+                let env: EnvRef = Arc::new(StdFsEnv::new(dir)?);
                 Ok(env)
             })
             .collect::<io::Result<Vec<_>>>()?;

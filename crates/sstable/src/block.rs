@@ -123,7 +123,9 @@ impl Block {
         if data.len() < 4 {
             return Err(TableError::Corruption("block shorter than trailer".into()));
         }
-        let n = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
+        let n = pcp_codec::read_u32_le(&data, data.len() - 4)
+            .ok_or_else(|| TableError::Corruption("block shorter than trailer".into()))?
+            as usize;
         let restarts_offset = data
             .len()
             .checked_sub(4 + n * 4)
@@ -140,7 +142,10 @@ impl Block {
 
     fn restart_point(&self, i: usize) -> usize {
         let off = self.restarts_offset + i * 4;
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize
+        // The restart array was bounds-validated in `new`; a read past the
+        // end means a caller-side index bug, surfaced as restart offset 0.
+        debug_assert!(off + 4 <= self.data.len(), "restart index out of range");
+        pcp_codec::read_u32_le(&self.data, off).unwrap_or(0) as usize
     }
 
     /// Iterator over the block's entries, ordered by `cmp`.

@@ -99,8 +99,9 @@ pub fn internal_key_cmp(a: &[u8], b: &[u8]) -> Ordering {
     let (bu, bt) = b.split_at(b.len() - 8);
     match au.cmp(bu) {
         Ordering::Equal => {
-            let ap = u64::from_le_bytes(at.try_into().unwrap());
-            let bp = u64::from_le_bytes(bt.try_into().unwrap());
+            // `split_at(len - 8)` above makes both trailers exactly 8 bytes.
+            let ap = pcp_codec::read_u64_le(at, 0).unwrap_or(0);
+            let bp = pcp_codec::read_u64_le(bt, 0).unwrap_or(0);
             bp.cmp(&ap) // descending
         }
         other => other,

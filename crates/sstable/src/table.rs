@@ -189,7 +189,10 @@ pub fn verify_block(raw: &[u8]) -> Result<(&[u8], CompressionKind)> {
     let (payload, trailer) = raw.split_at(raw.len() - BLOCK_TRAILER_SIZE);
     let kind = CompressionKind::from_u8(trailer[0])
         .ok_or_else(|| TableError::Corruption(format!("bad kind byte {}", trailer[0])))?;
-    let stored = unmask_crc(u32::from_le_bytes(trailer[1..5].try_into().unwrap()));
+    let stored = unmask_crc(
+        pcp_codec::read_u32_le(trailer, 1)
+            .ok_or_else(|| TableError::Corruption("block trailer too short".into()))?,
+    );
     let mut crc = pcp_codec::Crc32c::new();
     crc.update(payload);
     crc.update(&[kind as u8]);
@@ -474,7 +477,8 @@ impl TableReader {
         if footer.len() != FOOTER_SIZE {
             return Err(TableError::Corruption("short footer read".into()));
         }
-        let magic = u64::from_le_bytes(footer[FOOTER_SIZE - 8..].try_into().unwrap());
+        let magic = pcp_codec::read_u64_le(&footer, FOOTER_SIZE - 8)
+            .ok_or_else(|| TableError::Corruption("short footer read".into()))?;
         if magic != TABLE_MAGIC {
             return Err(TableError::Corruption(format!(
                 "bad table magic {magic:#x}"

@@ -16,6 +16,12 @@ cargo test -q
 echo "==> cargo test -q -p pcp-shard --test kv_service (TCP service e2e)"
 cargo test -q -p pcp-shard --test kv_service
 
+echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L5)"
+cargo run -q -p pcp-lint --release
+
+echo "==> cargo test -q --features lock_order (runtime lock-order witness)"
+cargo test -q --features lock_order
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -4,12 +4,53 @@
 //! `lock()` returns the guard directly (a poisoned std lock is treated as
 //! acquired — the data is guarded by our own invariants, not by poison
 //! state), and `MutexGuard::unlocked` temporarily releases the lock.
+//!
+//! With the `lock_order` feature (on in the workspace's test lanes) every
+//! `Mutex`/`RwLock` acquisition is checked against a process-global
+//! acquisition-order graph; taking two locks in an order that inverts a
+//! previously observed order panics with both acquisition sites — a cheap
+//! runtime deadlock witness that every existing test exercises for free.
+//! See the `order` module for the mechanism.
+
+#[cfg(feature = "lock_order")]
+mod order;
+
+#[cfg(feature = "lock_order")]
+use std::sync::atomic::AtomicUsize;
 
 use std::sync;
+
+/// Registers a blocking acquisition of the lock owning `slot` with the
+/// lock-order witness (no-op without the `lock_order` feature).
+macro_rules! witness_acquire {
+    ($slot:expr) => {
+        #[cfg(feature = "lock_order")]
+        order::acquire(order::lock_id($slot), std::panic::Location::caller());
+    };
+}
+
+/// Registers a successful non-blocking acquisition (no ordering edge).
+macro_rules! witness_acquire_try {
+    ($slot:expr) => {
+        #[cfg(feature = "lock_order")]
+        order::acquire_try(order::lock_id($slot), std::panic::Location::caller());
+    };
+}
+
+/// Registers a release with the lock-order witness.
+macro_rules! witness_release {
+    ($slot:expr) => {
+        #[cfg(feature = "lock_order")]
+        order::release(order::lock_id($slot));
+    };
+}
 
 /// A non-poisoning mutual-exclusion lock.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    /// Witness identity, assigned on first acquisition (0 = unassigned).
+    #[cfg(feature = "lock_order")]
+    order_slot: AtomicUsize,
     inner: sync::Mutex<T>,
 }
 
@@ -17,6 +58,8 @@ impl<T> Mutex<T> {
     /// Creates a lock holding `value`.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "lock_order")]
+            order_slot: AtomicUsize::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -32,7 +75,9 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        witness_acquire!(&self.order_slot);
         let guard = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -44,18 +89,18 @@ impl<T: ?Sized> Mutex<T> {
     }
 
     /// Tries to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard {
-                lock: self,
-                inner: Some(g),
-            }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                lock: self,
-                inner: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        witness_acquire_try!(&self.order_slot);
+        Some(MutexGuard {
+            lock: self,
+            inner: Some(guard),
+        })
     }
 
     /// Mutable access without locking (exclusive borrow proves uniqueness).
@@ -76,12 +121,15 @@ pub struct MutexGuard<'a, T: ?Sized> {
 
 impl<'a, T: ?Sized> MutexGuard<'a, T> {
     /// Releases the lock, runs `f`, then reacquires it.
+    #[track_caller]
     pub fn unlocked<F, R>(guard: &mut MutexGuard<'a, T>, f: F) -> R
     where
         F: FnOnce() -> R,
     {
         guard.inner = None;
+        witness_release!(&guard.lock.order_slot);
         let result = f();
+        witness_acquire!(&guard.lock.order_slot);
         guard.inner = Some(match guard.lock.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -91,6 +139,18 @@ impl<'a, T: ?Sized> MutexGuard<'a, T> {
 
     fn std_guard(&mut self) -> sync::MutexGuard<'a, T> {
         self.inner.take().expect("guard held")
+    }
+}
+
+/// Pops the lock from the witness's held set. Skipped when the guard does
+/// not currently hold the lock (inside [`MutexGuard::unlocked`] or a
+/// condvar wait, both of which manage the witness themselves).
+#[cfg(feature = "lock_order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            witness_release!(&self.lock.order_slot);
+        }
     }
 }
 
@@ -122,22 +182,27 @@ impl Condvar {
     }
 
     /// Atomically releases the guard's lock and waits for a notification.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.std_guard();
+        witness_release!(&guard.lock.order_slot);
         let reacquired = match self.inner.wait(std_guard) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
+        witness_acquire!(&guard.lock.order_slot);
         guard.inner = Some(reacquired);
     }
 
     /// As [`Condvar::wait`] with a timeout; returns true when it timed out.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: std::time::Duration,
     ) -> bool {
         let std_guard = guard.std_guard();
+        witness_release!(&guard.lock.order_slot);
         let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
             Ok((g, r)) => (g, r),
             Err(p) => {
@@ -145,6 +210,7 @@ impl Condvar {
                 (g, r)
             }
         };
+        witness_acquire!(&guard.lock.order_slot);
         guard.inner = Some(reacquired);
         result.timed_out()
     }
@@ -163,6 +229,9 @@ impl Condvar {
 /// A non-poisoning reader-writer lock.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    /// Witness identity, assigned on first acquisition (0 = unassigned).
+    #[cfg(feature = "lock_order")]
+    order_slot: AtomicUsize,
     inner: sync::RwLock<T>,
 }
 
@@ -170,6 +239,8 @@ impl<T> RwLock<T> {
     /// Creates a lock holding `value`.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "lock_order")]
+            order_slot: AtomicUsize::new(0),
             inner: sync::RwLock::new(value),
         }
     }
@@ -177,19 +248,83 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        match self.inner.read() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        witness_acquire!(&self.order_slot);
+        RwLockReadGuard {
+            #[cfg(feature = "lock_order")]
+            lock: self,
+            inner: match self.inner.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
         }
     }
 
     /// Acquires exclusive write access.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        witness_acquire!(&self.order_slot);
+        RwLockWriteGuard {
+            #[cfg(feature = "lock_order")]
+            lock: self,
+            inner: match self.inner.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
         }
+    }
+}
+
+/// RAII guard for shared access to a [`RwLock`].
+///
+/// The witness treats read and write acquisitions alike: a read-then-write
+/// order inverted elsewhere still deadlocks once a writer joins, so the
+/// conservative edge is the useful one.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock_order")]
+    lock: &'a RwLock<T>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lock_order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness_release!(&self.lock.order_slot);
+    }
+}
+
+/// RAII guard for exclusive access to a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock_order")]
+    lock: &'a RwLock<T>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lock_order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness_release!(&self.lock.order_slot);
     }
 }
 

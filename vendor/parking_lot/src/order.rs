@@ -1,0 +1,174 @@
+//! Runtime lock-order witness (feature `lock_order`).
+//!
+//! Every blocking acquisition through this shim records, for each lock the
+//! calling thread already holds, a directed edge `held → wanted` in a
+//! process-global acquisition-order graph. Before the edge is inserted, a
+//! DFS asks whether `wanted` can already reach `held`: if it can, two code
+//! paths take the same pair of locks in opposite orders — a latent
+//! deadlock — and the witness panics naming both acquisition sites of the
+//! current inversion and both sites of the previously established order.
+//!
+//! Identity is per lock *instance* (an id is assigned on first
+//! acquisition), so sibling instances of one type — e.g. the per-shard DB
+//! mutexes — may be taken in any order without false positives. `try_*`
+//! acquisitions register the lock as held but add no ordering edge: a
+//! non-blocking attempt cannot participate in a deadlock cycle.
+//!
+//! The graph only grows (lock ids are never reused), which is the right
+//! trade-off for its audience: the test suite, where the witness is meant
+//! to run on every pass for free.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+type Site = &'static Location<'static>;
+
+/// Allocates instance ids; 0 in a lock's slot means "not yet assigned".
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Returns the stable id for a lock, assigning one on first use.
+pub(crate) fn lock_id(slot: &AtomicUsize) -> usize {
+    let current = slot.load(Ordering::Relaxed);
+    if current != 0 {
+        return current;
+    }
+    let candidate = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, candidate, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => candidate,
+        Err(winner) => winner,
+    }
+}
+
+/// First-observation record of an ordering edge `from → to`.
+struct Edge {
+    /// Where the held (`from`) lock had been acquired.
+    from_site: Site,
+    /// Where the `to` lock was then acquired while `from` was held.
+    to_site: Site,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// Adjacency: `edges[from][to]` exists once `to` was acquired with
+    /// `from` held.
+    edges: HashMap<usize, HashMap<usize, Edge>>,
+}
+
+impl Graph {
+    /// Depth-first path `from → … → to`, returned as the visited node
+    /// chain (used to name the edge that established the reverse order).
+    fn find_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let mut stack = vec![vec![from]];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(from);
+        while let Some(path) = stack.pop() {
+            let Some(&last) = path.last() else { continue };
+            if last == to {
+                return Some(path);
+            }
+            if let Some(next) = self.edges.get(&last) {
+                for &succ in next.keys() {
+                    if seen.insert(succ) {
+                        let mut longer = path.clone();
+                        longer.push(succ);
+                        stack.push(longer);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(Mutex::default)
+}
+
+fn lock_graph() -> std::sync::MutexGuard<'static, Graph> {
+    match graph().lock() {
+        Ok(g) => g,
+        // The witness itself panicked with the graph held (in the thread
+        // that observed an inversion); the data is still consistent.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+thread_local! {
+    /// Locks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<(usize, Site)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records a blocking acquisition attempt of `id` at `site`, panicking if
+/// it inverts an ordering the graph has already established.
+pub(crate) fn acquire(id: usize, site: Site) {
+    let inversion = HELD.with(|held| {
+        let held = held.borrow();
+        if held.is_empty() {
+            return None;
+        }
+        let mut graph = lock_graph();
+        for &(held_id, held_site) in held.iter() {
+            if held_id == id {
+                continue;
+            }
+            let already_known = graph
+                .edges
+                .get(&held_id)
+                .is_some_and(|next| next.contains_key(&id));
+            if already_known {
+                continue;
+            }
+            // Would `held_id → id` close a cycle `id → … → held_id`?
+            if let Some(path) = graph.find_path(id, held_id) {
+                let (ef, et) = (path[0], path[1]);
+                let prior = &graph.edges[&ef][&et];
+                return Some(format!(
+                    "lock-order inversion: acquiring lock #{id} at {site} while holding \
+                     lock #{held_id} (acquired at {held_site}), but the opposite order \
+                     was established earlier: lock #{et} was acquired at {} while \
+                     holding lock #{ef} (acquired at {}){}",
+                    prior.to_site,
+                    prior.from_site,
+                    if path.len() > 2 {
+                        format!(" via a {}-lock chain", path.len())
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
+            graph.edges.entry(held_id).or_default().insert(
+                id,
+                Edge {
+                    from_site: held_site,
+                    to_site: site,
+                },
+            );
+        }
+        None
+    });
+    if let Some(message) = inversion {
+        panic!("{message}");
+    }
+    HELD.with(|held| held.borrow_mut().push((id, site)));
+}
+
+/// Records a successful non-blocking (`try_*`) acquisition: the lock is
+/// held, but no ordering edge is implied.
+pub(crate) fn acquire_try(id: usize, site: Site) {
+    HELD.with(|held| held.borrow_mut().push((id, site)));
+}
+
+/// Records a release of `id` (most recent acquisition first, since guards
+/// may be dropped in any order).
+pub(crate) fn release(id: usize) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(h, _)| h == id) {
+            held.remove(pos);
+        }
+    });
+}
