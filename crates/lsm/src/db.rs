@@ -61,6 +61,11 @@ pub struct Options {
     pub l0_stop_files: usize,
     /// Sync the WAL on every write.
     pub sync_writes: bool,
+    /// Merge concurrent writers into leader-committed groups (one WAL
+    /// record and at most one sync per group). Disabling falls back to the
+    /// fully serialized write path — kept for A/B benchmarking; the
+    /// durability contract is identical either way.
+    pub group_commit: bool,
     /// Decoded-block cache budget for the read path; 0 disables it (the
     /// paper's direct-I/O semantics — compaction always bypasses it).
     pub block_cache_bytes: usize,
@@ -94,6 +99,7 @@ impl Default for Options {
             l0_slowdown_files: 8,
             l0_stop_files: 12,
             sync_writes: false,
+            group_commit: true,
             block_cache_bytes: 0,
             executor: Arc::new(SimpleMergeExec),
             retry: RetryPolicy::default(),
@@ -210,17 +216,42 @@ impl WriteBatch {
         })
     }
 
-    fn encode(&self, first_sequence: SequenceNumber) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(&first_sequence.to_le_bytes());
-        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+    /// Approximate encoded size, used to cap how many batches one group
+    /// leader merges into a single WAL record.
+    fn approximate_bytes(&self) -> usize {
+        12 + self
+            .entries
+            .iter()
+            .map(|(_, k, v)| k.len() + v.len() + 19)
+            .sum::<usize>()
+    }
+
+    /// The entries as `(type, key, value)` borrows, for memtable insertion.
+    pub(crate) fn entry_refs(
+        &self,
+    ) -> impl Iterator<Item = (ValueType, &[u8], &[u8])> + '_ {
+        self.entries
+            .iter()
+            .map(|(t, k, v)| (*t, k.as_slice(), v.as_slice()))
+    }
+
+    /// Appends the entry encodings (no header) to `out` — the group leader
+    /// concatenates several batches' entries under one record header.
+    fn encode_entries(&self, out: &mut Vec<u8>) {
         for (t, k, v) in &self.entries {
             out.push(*t as u8);
-            pcp_codec::put_u64(&mut out, k.len() as u64);
+            pcp_codec::put_u64(out, k.len() as u64);
             out.extend_from_slice(k);
-            pcp_codec::put_u64(&mut out, v.len() as u64);
+            pcp_codec::put_u64(out, v.len() as u64);
             out.extend_from_slice(v);
         }
+    }
+
+    fn encode(&self, first_sequence: SequenceNumber) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approximate_bytes());
+        out.extend_from_slice(&first_sequence.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        self.encode_entries(&mut out);
         out
     }
 
@@ -295,6 +326,13 @@ pub struct Metrics {
     pub gc_delete_errors: AtomicU64,
     /// Background attempts retried after transient I/O errors.
     pub bg_retries: AtomicU64,
+    /// WAL sync (fsync) operations issued. With group commit, one sync
+    /// covers every writer merged into the group, so this grows slower
+    /// than `puts` under concurrency — the amortization the write path is
+    /// built around.
+    pub wal_syncs: AtomicU64,
+    /// Commit groups formed by write leaders (each is one WAL record).
+    pub group_commits: AtomicU64,
     /// Merge compactions picked per source level (trivial moves excluded).
     pub level_compactions: [AtomicU64; NUM_LEVELS],
     /// Compaction input bytes per source level.
@@ -348,6 +386,10 @@ pub struct MetricsSnapshot {
     /// Background flush/compaction attempts retried after transient I/O
     /// errors.
     pub bg_retries: u64,
+    /// WAL sync operations issued (one per commit group, not per writer).
+    pub wal_syncs: u64,
+    /// Commit groups formed by write leaders.
+    pub group_commits: u64,
     /// Per-source-level merge-compaction tallies (index = source level;
     /// trivial moves are counted in [`MetricsSnapshot::trivial_moves`]
     /// only).
@@ -368,15 +410,33 @@ impl MetricsSnapshot {
     }
 }
 
+/// One queued writer. The batch is `Some` until a leader claims it into a
+/// commit group; the entry itself stays in the queue until the group
+/// completes, so the queue front always identifies the active leader.
+struct PendingWrite {
+    ticket: u64,
+    batch: Option<WriteBatch>,
+}
+
 struct State {
     mem: Arc<Memtable>,
     imm: Option<Arc<Memtable>>,
+    /// `None` exactly while a group leader holds the WAL inside the
+    /// unlocked I/O window; [`DbInner::rotate_memtable`] waits for it to
+    /// return before swapping logs.
     wal: Option<WalWriter>,
     wal_number: u64,
     versions: VersionSet,
     bg_active: bool,
     bg_error: Option<String>,
     snapshots: BTreeMap<u64, usize>,
+    /// FIFO of writers awaiting commit; the front entry's owner is the
+    /// group leader.
+    write_queue: std::collections::VecDeque<PendingWrite>,
+    /// Results for completed followers, keyed by ticket. `Err` carries the
+    /// message of the group's WAL failure (io::Error is not Clone).
+    write_results: std::collections::HashMap<u64, Result<(), String>>,
+    next_ticket: u64,
 }
 
 struct DbInner {
@@ -386,8 +446,14 @@ struct DbInner {
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// Wakes queued writers: followers whose result arrived, the next
+    /// leader after a group completes, and WAL-rotation waiters.
+    writers_cv: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
+    /// Writers merged per commit group (the `pcp_engine_group_commit_batches`
+    /// histogram).
+    group_commit_writers: Arc<pcp_obs::Histogram>,
     /// Lifecycle event ring: flushes, compactions, trivial moves, stalls.
     trace: Arc<pcp_obs::TraceLog>,
 }
@@ -459,10 +525,8 @@ impl Db {
             let mut reader = WalReader::open(&*env, &wal_file(*log))?;
             while let Some(record) = reader.next_record()? {
                 let (seq, batch) = WriteBatch::decode(&record)?;
-                for (i, (t, k, v)) in batch.entries.iter().enumerate() {
-                    mem.insert(k, seq + i as u64, *t, v);
-                }
-                max_seq = max_seq.max(seq + batch.entries.len() as u64 - 1);
+                let next = mem.insert_batch(seq, batch.entry_refs());
+                max_seq = max_seq.max(next - 1);
             }
         }
         versions.set_last_sequence(max_seq);
@@ -512,11 +576,16 @@ impl Db {
                 bg_active: false,
                 bg_error: None,
                 snapshots: BTreeMap::new(),
+                write_queue: std::collections::VecDeque::new(),
+                write_results: std::collections::HashMap::new(),
+                next_ticket: 0,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            writers_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: Metrics::default(),
+            group_commit_writers: Arc::new(pcp_obs::Histogram::new()),
             trace: Arc::new(pcp_obs::TraceLog::new(1024)),
         });
         inner.gc_files(&mut inner.state.lock());
@@ -578,10 +647,47 @@ impl Db {
     }
 
     /// Applies a batch atomically.
+    ///
+    /// Concurrent callers are merged LevelDB-style: each writer enqueues
+    /// its batch and either becomes the *leader* — the queue front, which
+    /// merges every pending batch up to a size cap into one WAL record,
+    /// appends and (when `sync_writes`) syncs it with the state lock
+    /// released, then republishes the memtable inserts and sequence bump —
+    /// or blocks until its leader reports the shared outcome. A WAL
+    /// failure latches the background error and is returned to **every**
+    /// writer whose batch rode in the failed group.
     pub fn write(&self, batch: WriteBatch) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
+        let inner = &*self.inner;
+        if !inner.opts.group_commit {
+            return self.write_serialized(batch);
+        }
+        let mut st = inner.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.write_queue.push_back(PendingWrite {
+            ticket,
+            batch: Some(batch),
+        });
+        loop {
+            if let Some(result) = st.write_results.remove(&ticket) {
+                // A leader committed (or failed) our batch for us.
+                return result.map_err(io::Error::other);
+            }
+            if st.write_queue.front().is_some_and(|w| w.ticket == ticket) {
+                break; // queue front: we lead the next group
+            }
+            inner.writers_cv.wait(&mut st);
+        }
+        inner.commit_group(&mut st, ticket)
+    }
+
+    /// The pre-group-commit write path: WAL append and sync under the
+    /// state lock, one writer at a time. Kept behind
+    /// [`Options::group_commit`]` = false` as the benchmark baseline.
+    fn write_serialized(&self, batch: WriteBatch) -> io::Result<()> {
         let inner = &*self.inner;
         let mut st = inner.state.lock();
         inner.make_room_for_write(&mut st)?;
@@ -606,44 +712,32 @@ impl Db {
             st.bg_error = Some(format!("wal write failed: {e}"));
             return Err(e);
         }
-        for (i, (t, k, v)) in batch.entries.iter().enumerate() {
-            st.mem.insert(k, first_seq + i as u64, *t, v);
+        if sync_writes {
+            inner.metrics.wal_syncs.fetch_add(1, AtomicOrdering::Relaxed);
         }
-        st.versions
-            .set_last_sequence(first_seq + batch.entries.len() as u64 - 1);
+        let next = st.mem.insert_batch(first_seq, batch.entry_refs());
+        st.versions.set_last_sequence(next - 1);
         inner
             .metrics
             .puts
-            .fetch_add(batch.entries.len() as u64, AtomicOrdering::Relaxed);
+            .fetch_add(batch.len() as u64, AtomicOrdering::Relaxed);
         Ok(())
     }
 
     /// Reads the newest visible value for `key`.
     pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
-        let seq = {
-            let st = self.inner.state.lock();
-            st.versions.last_sequence()
-        };
-        self.get_at(key, seq)
+        // One lock acquisition captures the sequence *and* the component
+        // refs (they must come from the same instant anyway for the read
+        // to be consistent).
+        let (seq, mem, imm, version) = self.inner.read_view();
+        self.inner.get_in_view(&mem, imm.as_ref(), &version, key, seq)
     }
 
     /// Reads `key` at an explicit sequence.
     pub fn get_at(&self, key: &[u8], snapshot: SequenceNumber) -> io::Result<Option<Vec<u8>>> {
-        let inner = &*self.inner;
-        inner.metrics.gets.fetch_add(1, AtomicOrdering::Relaxed);
-        let (mem, imm, version) = {
-            let st = inner.state.lock();
-            (st.mem.clone(), st.imm.clone(), st.versions.current())
-        };
-        if let Some(hit) = mem.get(key, snapshot) {
-            return Ok(hit);
-        }
-        if let Some(imm) = imm {
-            if let Some(hit) = imm.get(key, snapshot) {
-                return Ok(hit);
-            }
-        }
-        inner.search_tables(&version, key, snapshot)
+        let (_, mem, imm, version) = self.inner.read_view();
+        self.inner
+            .get_in_view(&mem, imm.as_ref(), &version, key, snapshot)
     }
 
     /// Registers a snapshot at the current sequence.
@@ -659,20 +753,24 @@ impl Db {
 
     /// Scan cursor at the latest sequence.
     pub fn iter(&self) -> DbIter {
-        let seq = {
-            let st = self.inner.state.lock();
-            st.versions.last_sequence()
-        };
-        self.iter_at(seq)
+        let (seq, mem, imm, version) = self.inner.read_view();
+        self.build_iter(mem, imm, version, seq)
     }
 
     /// Scan cursor at an explicit sequence.
     pub fn iter_at(&self, snapshot: SequenceNumber) -> DbIter {
+        let (_, mem, imm, version) = self.inner.read_view();
+        self.build_iter(mem, imm, version, snapshot)
+    }
+
+    fn build_iter(
+        &self,
+        mem: Arc<Memtable>,
+        imm: Option<Arc<Memtable>>,
+        version: Arc<Version>,
+        snapshot: SequenceNumber,
+    ) -> DbIter {
         let inner = &*self.inner;
-        let (mem, imm, version) = {
-            let st = inner.state.lock();
-            (st.mem.clone(), st.imm.clone(), st.versions.current())
-        };
         let mut children: Vec<Box<dyn KvIter>> = Vec::new();
         children.push(Box::new(mem.iter()));
         if let Some(imm) = imm {
@@ -800,6 +898,8 @@ impl Db {
             gc_deleted_files: m.gc_deleted_files.load(AtomicOrdering::Relaxed),
             gc_delete_errors: m.gc_delete_errors.load(AtomicOrdering::Relaxed),
             bg_retries: m.bg_retries.load(AtomicOrdering::Relaxed),
+            wal_syncs: m.wal_syncs.load(AtomicOrdering::Relaxed),
+            group_commits: m.group_commits.load(AtomicOrdering::Relaxed),
             levels: std::array::from_fn(|l| LevelCompaction {
                 count: m.level_compactions[l].load(AtomicOrdering::Relaxed),
                 input_bytes: m.level_compaction_input_bytes[l].load(AtomicOrdering::Relaxed),
@@ -833,7 +933,7 @@ impl Db {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         type Getter = fn(&Metrics) -> u64;
-        let counters: [(&str, &str, Getter); 15] = [
+        let counters: [(&str, &str, Getter); 17] = [
             ("pcp_engine_puts_total", "write operations accepted", |m| {
                 m.puts.load(AtomicOrdering::Relaxed)
             }),
@@ -879,10 +979,45 @@ impl Db {
             ("pcp_engine_bg_retries_total", "background attempts retried after transient errors", |m| {
                 m.bg_retries.load(AtomicOrdering::Relaxed)
             }),
+            ("pcp_engine_wal_sync_total", "WAL sync operations issued (one per commit group)", |m| {
+                m.wal_syncs.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_group_commits_total", "commit groups formed by write leaders", |m| {
+                m.group_commits.load(AtomicOrdering::Relaxed)
+            }),
         ];
         for (name, help, get) in counters {
             let inner = Arc::clone(&self.inner);
             registry.register_fn_counter(name, help, base.clone(), move || get(&inner.metrics));
+        }
+        registry.register_histogram(
+            "pcp_engine_group_commit_batches",
+            "writers merged per commit group",
+            base.clone(),
+            Arc::clone(&self.inner.group_commit_writers),
+        );
+        if let Some(cache) = self.inner.cache.block_cache() {
+            for shard in 0..cache.num_shards() {
+                let with_shard = {
+                    let mut labels = base.clone();
+                    labels.push(("cache_shard".to_string(), shard.to_string()));
+                    labels
+                };
+                let c = Arc::clone(cache);
+                registry.register_fn_gauge(
+                    "pcp_engine_block_cache_shard_hits",
+                    "block-cache hits per shard",
+                    with_shard.clone(),
+                    move || c.shard_stats(shard).0 as f64,
+                );
+                let c = Arc::clone(cache);
+                registry.register_fn_gauge(
+                    "pcp_engine_block_cache_shard_misses",
+                    "block-cache misses per shard",
+                    with_shard,
+                    move || c.shard_stats(shard).1 as f64,
+                );
+            }
         }
         for level in 0..NUM_LEVELS {
             let with_level = |base: &[(String, String)]| {
@@ -1129,12 +1264,140 @@ fn table_to_io(e: pcp_sstable::TableError) -> io::Error {
     }
 }
 
+/// Hard ceiling on one commit group's merged payload (LevelDB's 1 MB).
+const MAX_GROUP_BYTES: usize = 1 << 20;
+/// When the leader's own batch is small, cap the group lower so one tiny
+/// write is never stuck behind a megabyte of followers' latency.
+const SMALL_BATCH_BYTES: usize = 128 << 10;
+
 impl DbInner {
     fn check_bg_error(&self, st: &State) -> io::Result<()> {
         match &st.bg_error {
             Some(e) => Err(io::Error::other(e.clone())),
             None => Ok(()),
         }
+    }
+
+    /// Leader path of [`Db::write`]: called by the writer at the queue
+    /// front with the state lock held. Merges the pending batches into one
+    /// group, commits it through the WAL with the lock released, then
+    /// publishes and distributes the outcome.
+    fn commit_group(&self, st: &mut MutexGuard<'_, State>, leader_ticket: u64) -> io::Result<()> {
+        if let Err(e) = self.make_room_for_write(st) {
+            // The leader's own admission failed (latched error). Followers
+            // stay queued: the next one becomes leader and observes the
+            // same latch itself.
+            let w = st.write_queue.pop_front().expect("leader at queue front");
+            debug_assert_eq!(w.ticket, leader_ticket);
+            self.writers_cv.notify_all();
+            return Err(e);
+        }
+
+        // Claim batches from the queue front up to the cap. Entries stay
+        // queued (their tickets mark group membership and keep this leader
+        // at the front); only the payloads move.
+        let leader_bytes = st
+            .write_queue
+            .front()
+            .and_then(|w| w.batch.as_ref())
+            .map_or(0, |b| b.approximate_bytes());
+        let cap = if leader_bytes <= SMALL_BATCH_BYTES {
+            leader_bytes + SMALL_BATCH_BYTES
+        } else {
+            MAX_GROUP_BYTES
+        };
+        let mut group: Vec<(u64, WriteBatch)> = Vec::new();
+        let mut group_bytes = 0usize;
+        for w in st.write_queue.iter_mut() {
+            let size = w.batch.as_ref().expect("queued batch unclaimed").approximate_bytes();
+            if !group.is_empty() && group_bytes + size > cap {
+                break;
+            }
+            group_bytes += size;
+            group.push((w.ticket, w.batch.take().expect("queued batch unclaimed")));
+        }
+        debug_assert_eq!(group[0].0, leader_ticket);
+
+        let first_seq = st.versions.last_sequence() + 1;
+        let count: u64 = group.iter().map(|(_, b)| b.len() as u64).sum();
+        let mut record = Vec::with_capacity(group_bytes + 12);
+        record.extend_from_slice(&first_seq.to_le_bytes());
+        record.extend_from_slice(&(count as u32).to_le_bytes());
+        for (_, b) in &group {
+            b.encode_entries(&mut record);
+        }
+
+        // The I/O window: take the WAL out of the state (rotation waits
+        // for it to return) and run the append + single amortized sync
+        // with the lock released, so arriving writers enqueue and the
+        // background worker keeps flushing/compacting meanwhile. New
+        // arrivals see this leader's ticket still at the queue front and
+        // block; no second leader can enter the WAL.
+        let sync_writes = self.opts.sync_writes;
+        let retry = self.opts.retry;
+        let mut wal = st.wal.take().expect("wal open");
+        let wal_result = MutexGuard::unlocked(st, || {
+            pcp_storage::with_retry(&retry, || wal.add_record(&record)).and_then(|()| {
+                if sync_writes {
+                    pcp_storage::with_retry(&retry, || wal.sync())
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        st.wal = Some(wal);
+
+        match wal_result {
+            Err(e) => {
+                // The WAL can no longer be trusted to hold this (or any
+                // later) record durably. Latch the error so every
+                // subsequent write is rejected, and report it to every
+                // writer in the failed group.
+                st.bg_error = Some(format!("wal write failed: {e}"));
+                self.finish_group(st, &group, leader_ticket, Err(e.to_string()));
+                Err(e)
+            }
+            Ok(()) => {
+                if sync_writes {
+                    self.metrics.wal_syncs.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                // Publish: memtable inserts and the sequence bump happen
+                // back under the lock, so rotation/flush can never split a
+                // group between a logged WAL and a flushed memtable.
+                let mut seq = first_seq;
+                for (_, b) in &group {
+                    seq = st.mem.insert_batch(seq, b.entry_refs());
+                }
+                debug_assert_eq!(seq, first_seq + count);
+                st.versions.set_last_sequence(first_seq + count - 1);
+                self.metrics.puts.fetch_add(count, AtomicOrdering::Relaxed);
+                self.metrics
+                    .group_commits
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.group_commit_writers.record(group.len() as u64);
+                self.finish_group(st, &group, leader_ticket, Ok(()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Pops the completed group off the queue, files each follower's
+    /// result, and wakes both the followers and the next leader.
+    fn finish_group(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        group: &[(u64, WriteBatch)],
+        leader_ticket: u64,
+        result: Result<(), String>,
+    ) {
+        for (ticket, _) in group {
+            let w = st.write_queue.pop_front().expect("group member queued");
+            debug_assert_eq!(w.ticket, *ticket);
+            if *ticket != leader_ticket {
+                st.write_results.insert(*ticket, result.clone());
+            }
+        }
+        self.writers_cv.notify_all();
     }
 
     /// Ensures the memtable has room, applying slowdown/stall policy.
@@ -1191,6 +1454,13 @@ impl DbInner {
 
     fn rotate_memtable(&self, st: &mut MutexGuard<'_, State>) -> io::Result<()> {
         debug_assert!(st.imm.is_none());
+        // A group leader may hold the WAL inside its unlocked I/O window
+        // (`st.wal` is `None` exactly then). Rotating underneath it would
+        // strand the group's record in a log older than the manifest's log
+        // number, so wait for the leader to put the WAL back.
+        while st.wal.is_none() {
+            self.writers_cv.wait(st);
+        }
         let new_wal_number = st.versions.allocate_file_number();
         let new_wal = pcp_storage::with_retry(&self.opts.retry, || {
             WalWriter::create(&*self.env, &wal_file(new_wal_number))
@@ -1202,6 +1472,47 @@ impl DbInner {
         st.imm = Some(std::mem::replace(&mut st.mem, Arc::new(Memtable::new())));
         self.work_cv.notify_all();
         Ok(())
+    }
+
+    /// Captures a consistent read view — the published sequence plus the
+    /// live memtable/imm/version refs — under a single lock acquisition.
+    #[allow(clippy::type_complexity)]
+    fn read_view(
+        &self,
+    ) -> (
+        SequenceNumber,
+        Arc<Memtable>,
+        Option<Arc<Memtable>>,
+        Arc<Version>,
+    ) {
+        let st = self.state.lock();
+        (
+            st.versions.last_sequence(),
+            st.mem.clone(),
+            st.imm.clone(),
+            st.versions.current(),
+        )
+    }
+
+    /// Point lookup against an already-captured view.
+    fn get_in_view(
+        &self,
+        mem: &Memtable,
+        imm: Option<&Arc<Memtable>>,
+        version: &Version,
+        key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> io::Result<Option<Vec<u8>>> {
+        self.metrics.gets.fetch_add(1, AtomicOrdering::Relaxed);
+        if let Some(hit) = mem.get(key, snapshot) {
+            return Ok(hit);
+        }
+        if let Some(imm) = imm {
+            if let Some(hit) = imm.get(key, snapshot) {
+                return Ok(hit);
+            }
+        }
+        self.search_tables(version, key, snapshot)
     }
 
     fn search_tables(

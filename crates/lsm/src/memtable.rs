@@ -178,6 +178,29 @@ impl Memtable {
         self.entries.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
+    /// Inserts a run of entries under consecutive sequence numbers
+    /// starting at `first_sequence`, returning the sequence after the last
+    /// one. This is the publication step of a write batch (and of a whole
+    /// commit group: the leader calls it once per member batch), and the
+    /// single place where the entry↔sequence assignment is defined — WAL
+    /// replay uses it too, so recovery reproduces exactly the sequences
+    /// the write path handed out.
+    ///
+    /// # Concurrency contract
+    /// Same as [`Memtable::insert`]: one batching writer at a time.
+    pub fn insert_batch<'a>(
+        &self,
+        first_sequence: SequenceNumber,
+        entries: impl IntoIterator<Item = (ValueType, &'a [u8], &'a [u8])>,
+    ) -> SequenceNumber {
+        let mut sequence = first_sequence;
+        for (value_type, key, value) in entries {
+            self.insert(key, sequence, value_type, value);
+            sequence += 1;
+        }
+        sequence
+    }
+
     /// Looks up `user_key_bytes` at snapshot `sequence`. Returns:
     /// * `Some(Some(value))` — a live value is visible,
     /// * `Some(None)` — a tombstone is visible (definitely deleted),

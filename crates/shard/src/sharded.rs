@@ -487,6 +487,8 @@ fn merge_metrics(total: &mut MetricsSnapshot, m: &MetricsSnapshot) {
     total.gc_deleted_files += m.gc_deleted_files;
     total.gc_delete_errors += m.gc_delete_errors;
     total.bg_retries += m.bg_retries;
+    total.wal_syncs += m.wal_syncs;
+    total.group_commits += m.group_commits;
     for (t, l) in total.levels.iter_mut().zip(m.levels.iter()) {
         t.count += l.count;
         t.input_bytes += l.input_bytes;

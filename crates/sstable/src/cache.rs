@@ -6,9 +6,18 @@
 //! exactly like LevelDB's block cache; it is off by default and enabled
 //! via `Options::block_cache_bytes`.
 //!
-//! Eviction is lazy LRU: a use-tick per entry plus a FIFO of (key, tick)
-//! observations; eviction pops observations and drops entries whose tick
-//! is stale (classic amortized-O(1) approximation, no intrusive lists).
+//! The cache is split into a power-of-two number of independently locked
+//! **shards**, selected by an FNV-1a hash of the `(id, offset)` key, so
+//! read-side threads hitting different blocks do not contend on one
+//! mutex. Each shard owns `capacity / shards` of the byte budget and its
+//! own LRU state; `stats()`, `used_bytes()`, and `len()` aggregate across
+//! shards. Small caches collapse to one shard so the budget is never
+//! fragmented below a useful working size.
+//!
+//! Eviction is lazy LRU per shard: a use-tick per entry plus a FIFO of
+//! (key, tick) observations; eviction pops observations and drops entries
+//! whose tick is stale (classic amortized-O(1) approximation, no
+//! intrusive lists).
 
 use crate::block::Block;
 use parking_lot::Mutex;
@@ -18,6 +27,13 @@ use std::sync::Arc;
 
 /// Key: (table cache-id, block offset).
 type Key = (u64, u64);
+
+/// Ceiling on the shard count; beyond this the per-shard budget shrinks
+/// faster than contention falls.
+const MAX_SHARDS: usize = 16;
+/// Minimum useful per-shard budget (≈32 default 4 KB blocks). Capacities
+/// below `shards × MIN_SHARD_BYTES` get fewer shards instead.
+const MIN_SHARD_BYTES: usize = 128 << 10;
 
 struct Entry {
     block: Block,
@@ -32,59 +48,38 @@ struct Inner {
     used: usize,
 }
 
-/// A shared, thread-safe decoded-block cache with a byte budget.
-pub struct BlockCache {
+/// One independently locked slice of the cache.
+struct Shard {
     capacity: usize,
     inner: Mutex<Inner>,
     next_tick: AtomicU64,
-    next_id: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl std::fmt::Debug for BlockCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (hits, misses) = self.stats();
-        f.debug_struct("BlockCache")
-            .field("capacity", &self.capacity)
-            .field("used", &self.used_bytes())
-            .field("hits", &hits)
-            .field("misses", &misses)
-            .finish()
-    }
-}
-
-impl BlockCache {
-    /// A cache bounded to ≈`capacity_bytes` of decoded block data.
-    pub fn new(capacity_bytes: usize) -> Arc<BlockCache> {
-        Arc::new(BlockCache {
-            capacity: capacity_bytes,
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            capacity,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 queue: VecDeque::new(),
                 used: 0,
             }),
             next_tick: AtomicU64::new(1),
-            next_id: AtomicU64::new(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        })
+        }
     }
 
-    /// Allocates a unique namespace id for one table reader.
-    pub fn new_id(&self) -> u64 {
-        self.next_id.fetch_add(1, Relaxed)
-    }
-
-    /// Looks up the decoded block at (`id`, `offset`).
-    pub fn get(&self, id: u64, offset: u64) -> Option<Block> {
+    fn get(&self, key: Key) -> Option<Block> {
         let tick = self.next_tick.fetch_add(1, Relaxed);
         let mut inner = self.inner.lock();
-        match inner.map.get_mut(&(id, offset)) {
+        match inner.map.get_mut(&key) {
             Some(e) => {
                 e.tick = tick;
                 let block = e.block.clone();
-                inner.queue.push_back(((id, offset), tick));
+                inner.queue.push_back((key, tick));
                 self.hits.fetch_add(1, Relaxed);
                 Some(block)
             }
@@ -95,17 +90,15 @@ impl BlockCache {
         }
     }
 
-    /// Inserts a decoded block, evicting least-recently-used entries to
-    /// stay within budget.
-    pub fn insert(&self, id: u64, offset: u64, block: Block) {
+    fn insert(&self, key: Key, block: Block) {
         let charge = block.len();
         if charge > self.capacity {
-            return; // larger than the whole cache: never cache
+            return; // larger than the whole shard: never cache
         }
         let tick = self.next_tick.fetch_add(1, Relaxed);
         let mut inner = self.inner.lock();
         if let Some(old) = inner.map.insert(
-            (id, offset),
+            key,
             Entry {
                 block,
                 charge,
@@ -115,7 +108,7 @@ impl BlockCache {
             inner.used -= old.charge;
         }
         inner.used += charge;
-        inner.queue.push_back(((id, offset), tick));
+        inner.queue.push_back((key, tick));
         // Evict: pop observations; drop entries whose latest tick matches
         // (i.e. not touched since this observation).
         while inner.used > self.capacity {
@@ -133,20 +126,118 @@ impl BlockCache {
             }
         }
     }
+}
 
-    /// (hits, misses) counters.
+/// A shared, thread-safe decoded-block cache with a byte budget, sharded
+/// to keep concurrent readers off one lock.
+pub struct BlockCache {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is always a power of two.
+    mask: usize,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("used", &self.used_bytes())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache bounded to ≈`capacity_bytes` of decoded block data, with a
+    /// shard count scaled to the capacity (1 shard per 128 KiB, capped at
+    /// 16, always a power of two).
+    pub fn new(capacity_bytes: usize) -> Arc<BlockCache> {
+        let ideal = (capacity_bytes / MIN_SHARD_BYTES).clamp(1, MAX_SHARDS);
+        // Round *down* to a power of two so per-shard budgets never drop
+        // below the minimum the divisor implies.
+        let shards = if ideal.is_power_of_two() {
+            ideal
+        } else {
+            ideal.next_power_of_two() / 2
+        };
+        Self::with_shards(capacity_bytes, shards)
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of
+    /// two). The byte budget is split evenly across shards.
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> Arc<BlockCache> {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity_bytes / n;
+        Arc::new(BlockCache {
+            shards: (0..n).map(|_| Shard::new(per_shard)).collect(),
+            mask: n - 1,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// FNV-1a over the key bytes; low bits select the shard.
+    fn shard(&self, id: u64, offset: u64) -> &Shard {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in id.to_le_bytes().into_iter().chain(offset.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) & self.mask]
+    }
+
+    /// Allocates a unique namespace id for one table reader.
+    pub fn new_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Relaxed)
+    }
+
+    /// Looks up the decoded block at (`id`, `offset`).
+    pub fn get(&self, id: u64, offset: u64) -> Option<Block> {
+        self.shard(id, offset).get((id, offset))
+    }
+
+    /// Inserts a decoded block, evicting least-recently-used entries from
+    /// its shard to stay within the shard's budget.
+    pub fn insert(&self, id: u64, offset: u64, block: Block) {
+        self.shard(id, offset).insert((id, offset), block);
+    }
+
+    /// (hits, misses) counters, aggregated across shards.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            (h + s.hits.load(Relaxed), m + s.misses.load(Relaxed))
+        })
     }
 
-    /// Bytes currently cached.
+    /// (hits, misses) of one shard — the per-shard observability series.
+    ///
+    /// # Panics
+    /// Panics if `shard >= num_shards()`.
+    pub fn shard_stats(&self, shard: usize) -> (u64, u64) {
+        let s = &self.shards[shard];
+        (s.hits.load(Relaxed), s.misses.load(Relaxed))
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total byte budget across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity).sum()
+    }
+
+    /// Bytes currently cached, aggregated across shards.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used
+        self.shards.iter().map(|s| s.inner.lock().used).sum()
     }
 
-    /// Number of cached blocks.
+    /// Number of cached blocks, aggregated across shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -191,7 +282,9 @@ mod tests {
 
     #[test]
     fn eviction_respects_budget_and_recency() {
+        // 3000 bytes → a single shard, so eviction order is global.
         let c = BlockCache::new(3000);
+        assert_eq!(c.num_shards(), 1);
         let id = c.new_id();
         for i in 0..4u64 {
             c.insert(id, i, block(i as u8, 900));
@@ -221,5 +314,93 @@ mod tests {
         let id = c.new_id();
         c.insert(id, 0, block(1, 900));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        assert_eq!(BlockCache::new(100).num_shards(), 1);
+        assert_eq!(BlockCache::new(256 << 10).num_shards(), 2);
+        assert_eq!(BlockCache::new(1 << 20).num_shards(), 8);
+        assert_eq!(BlockCache::new(64 << 20).num_shards(), 16);
+        // Explicit counts round up to a power of two.
+        assert_eq!(BlockCache::with_shards(1 << 20, 3).num_shards(), 4);
+        assert_eq!(BlockCache::with_shards(1 << 20, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let c = BlockCache::with_shards(4 << 20, 4);
+        let id = c.new_id();
+        for i in 0..64u64 {
+            c.insert(id, i * 4096, block((i & 0xFF) as u8, 500));
+        }
+        assert_eq!(c.len(), 64);
+        let populated = (0..c.num_shards())
+            .filter(|&s| {
+                // Shard population is visible through per-shard stats after
+                // a full sweep of gets.
+                let before = c.shard_stats(s);
+                (0..64u64).for_each(|i| {
+                    let _ = c.get(id, i * 4096);
+                });
+                c.shard_stats(s).0 > before.0
+            })
+            .count();
+        assert!(populated >= 2, "hash should spread over shards");
+    }
+
+    #[test]
+    fn aggregated_stats_sum_shards() {
+        let c = BlockCache::with_shards(4 << 20, 4);
+        let id = c.new_id();
+        for i in 0..16u64 {
+            c.insert(id, i * 4096, block(i as u8, 500));
+        }
+        for i in 0..16u64 {
+            assert!(c.get(id, i * 4096).is_some());
+        }
+        for i in 100..110u64 {
+            assert!(c.get(id, i * 4096).is_none());
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (16, 10));
+        let per_shard: (u64, u64) = (0..c.num_shards()).fold((0, 0), |(h, m), s| {
+            let (sh, sm) = c.shard_stats(s);
+            (h + sh, m + sm)
+        });
+        assert_eq!(per_shard, (hits, misses));
+    }
+
+    #[test]
+    fn sharded_budget_is_respected_under_churn() {
+        let cap = 64 << 10;
+        let c = BlockCache::with_shards(cap, 4);
+        let id = c.new_id();
+        for i in 0..256u64 {
+            c.insert(id, i * 4096, block((i & 0xFF) as u8, 1000));
+        }
+        assert!(c.used_bytes() <= cap, "used {} > cap {cap}", c.used_bytes());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let c = BlockCache::with_shards(1 << 20, 8);
+        let id = c.new_id();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let off = (t * 1000 + i) * 4096;
+                        c.insert(id, off, block((i & 0xFF) as u8, 512));
+                        assert!(c.get(id, off).is_some() || c.used_bytes() <= 1 << 20);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = c.stats();
+        assert_eq!(hits + misses, 4000);
+        assert!(c.used_bytes() <= 1 << 20);
     }
 }

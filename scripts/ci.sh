@@ -22,6 +22,9 @@ cargo run -q -p pcp-lint --release
 echo "==> cargo test -q --features lock_order (runtime lock-order witness)"
 cargo test -q --features lock_order
 
+echo "==> cargo bench -p pcp-bench --bench write_concurrency (group-commit smoke, quick mode)"
+cargo bench -p pcp-bench --bench write_concurrency
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
