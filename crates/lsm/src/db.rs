@@ -1461,6 +1461,14 @@ impl DbInner {
         while st.wal.is_none() {
             self.writers_cv.wait(st);
         }
+        // The wait released the state lock, so another thread may have
+        // rotated in the meantime (e.g. the next group leader via
+        // make_room_for_write racing a parked flush()). Overwriting that
+        // fresh `imm` would drop an unflushed memtable; both callers
+        // re-evaluate, so just report success.
+        if st.imm.is_some() {
+            return Ok(());
+        }
         let new_wal_number = st.versions.allocate_file_number();
         let new_wal = pcp_storage::with_retry(&self.opts.retry, || {
             WalWriter::create(&*self.env, &wal_file(new_wal_number))

@@ -187,6 +187,84 @@ fn grouped_syncs_amortize_below_one_per_writer() {
     }
 }
 
+/// Regression test for the flush-vs-leader rotation race: a flush()
+/// thread that parks in `rotate_memtable` waiting for a group leader's
+/// unlocked WAL window must not overwrite an `imm` installed by the next
+/// leader's `make_room_for_write` while it slept — that would silently
+/// drop an unflushed memtable. Writers with a tiny memtable keep leaders
+/// in the WAL window and rotating constantly while flushers hammer the
+/// same path; every acknowledged write must survive, live and across a
+/// reopen.
+#[test]
+fn concurrent_flushes_race_group_leaders_without_losing_data() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let env = ssd_env();
+    let opts = Options {
+        sync_writes: true,
+        // Rotate every handful of writes so flush() and leaders race on
+        // rotate_memtable continuously.
+        memtable_bytes: 8 << 10,
+        ..Default::default()
+    };
+    let db = Db::open(Arc::clone(&env), opts.clone()).unwrap();
+    let writers = 4;
+    let puts_per_writer = 60;
+    let value = vec![0xAB; 256];
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let db = &db;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    db.flush().unwrap();
+                }
+            });
+        }
+        let handles: Vec<_> = (0..writers)
+            .map(|t| {
+                let db = &db;
+                let value = &value;
+                s.spawn(move || {
+                    for j in 0..puts_per_writer {
+                        db.put(format!("race-{t}-{j:03}").as_bytes(), value)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    db.flush().unwrap();
+    for t in 0..writers {
+        for j in 0..puts_per_writer {
+            assert!(
+                db.get(format!("race-{t}-{j:03}").as_bytes())
+                    .unwrap()
+                    .is_some(),
+                "acknowledged write race-{t}-{j:03} lost (rotation race)"
+            );
+        }
+    }
+    // A dropped memtable would also vanish from the recovered state.
+    drop(db);
+    let db = Db::open(env, opts).unwrap();
+    for t in 0..writers {
+        for j in 0..puts_per_writer {
+            assert!(
+                db.get(format!("race-{t}-{j:03}").as_bytes())
+                    .unwrap()
+                    .is_some(),
+                "write race-{t}-{j:03} lost across reopen"
+            );
+        }
+    }
+}
+
 #[test]
 fn wal_failure_in_group_latches_and_fails_every_writer() {
     let inner: EnvRef = ssd_env();

@@ -14,6 +14,13 @@
 //! shards. Small caches collapse to one shard so the budget is never
 //! fragmented below a useful working size.
 //!
+//! Sharding narrows the admission bound: a block is cacheable only when
+//! it fits a *shard's* budget (`capacity / num_shards`), not the whole
+//! cache — see [`BlockCache::insert`]. With the default scaling (one
+//! shard per 128 KiB, capped at 16) the per-shard floor is 128 KiB,
+//! comfortably above any realistic decoded block, so this only bites
+//! blocks in the multi-MiB range against large caches.
+//!
 //! Eviction is lazy LRU per shard: a use-tick per entry plus a FIFO of
 //! (key, tick) observations; eviction pops observations and drops entries
 //! whose tick is stale (classic amortized-O(1) approximation, no
@@ -200,6 +207,14 @@ impl BlockCache {
 
     /// Inserts a decoded block, evicting least-recently-used entries from
     /// its shard to stay within the shard's budget.
+    ///
+    /// Admission is bounded per shard, not per cache: a block larger than
+    /// `capacity() / num_shards()` is dropped without caching, even if it
+    /// would fit the total budget. (Admitting it would pin more than one
+    /// shard's worth of memory behind a single entry and let the total
+    /// overshoot its budget by up to `num_shards()` oversized blocks.)
+    /// Reads of such blocks always miss and fall through to the table
+    /// reader.
     pub fn insert(&self, id: u64, offset: u64, block: Block) {
         self.shard(id, offset).insert((id, offset), block);
     }
@@ -314,6 +329,20 @@ mod tests {
         let id = c.new_id();
         c.insert(id, 0, block(1, 900));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn admission_is_bounded_per_shard_not_per_cache() {
+        // 4 shards × 2000 B: a 3000 B block fits the total budget but not
+        // one shard, so it is not admitted (documented on `insert`).
+        let c = BlockCache::with_shards(8000, 4);
+        let id = c.new_id();
+        c.insert(id, 0, block(1, 3000));
+        assert!(c.is_empty());
+        assert!(c.get(id, 0).is_none());
+        // A block within the shard budget is admitted as usual.
+        c.insert(id, 1, block(2, 1000));
+        assert!(c.get(id, 1).is_some());
     }
 
     #[test]
