@@ -85,6 +85,12 @@ pub struct Options {
     /// are never gated — delaying a flush turns directly into writer
     /// stalls.
     pub compaction_limiter: Option<Arc<crate::CompactionLimiter>>,
+    /// Replication tap: observes every committed WAL record after its
+    /// append (and sync, when `sync_writes`) succeeded, receiving the
+    /// exact record bytes plus its sequence span (see [`crate::WalTap`]). The
+    /// tap must not fail the write — the record is already locally
+    /// durable when it fires. `None` disables the tap entirely.
+    pub wal_tap: Option<Arc<dyn crate::WalTap>>,
 }
 
 impl Default for Options {
@@ -105,6 +111,7 @@ impl Default for Options {
             retry: RetryPolicy::default(),
             dir: None,
             compaction_limiter: None,
+            wal_tap: None,
         }
     }
 }
@@ -333,6 +340,9 @@ pub struct Metrics {
     pub wal_syncs: AtomicU64,
     /// Commit groups formed by write leaders (each is one WAL record).
     pub group_commits: AtomicU64,
+    /// WAL logs whose replay at open stopped at a torn or corrupt tail
+    /// (the committed prefix was recovered; the tail was discarded).
+    pub wal_tail_corruptions: AtomicU64,
     /// Merge compactions picked per source level (trivial moves excluded).
     pub level_compactions: [AtomicU64; NUM_LEVELS],
     /// Compaction input bytes per source level.
@@ -390,6 +400,8 @@ pub struct MetricsSnapshot {
     pub wal_syncs: u64,
     /// Commit groups formed by write leaders.
     pub group_commits: u64,
+    /// WAL logs that hit a torn/corrupt tail during replay at open.
+    pub wal_tail_corruptions: u64,
     /// Per-source-level merge-compaction tallies (index = source level;
     /// trivial moves are counted in [`MetricsSnapshot::trivial_moves`]
     /// only).
@@ -521,12 +533,16 @@ impl Db {
             .map(|(_, num)| num)
             .collect();
         logs.sort_unstable();
+        let mut tail_corruptions = 0u64;
         for log in &logs {
             let mut reader = WalReader::open(&*env, &wal_file(*log))?;
             while let Some(record) = reader.next_record()? {
                 let (seq, batch) = WriteBatch::decode(&record)?;
                 let next = mem.insert_batch(seq, batch.entry_refs());
                 max_seq = max_seq.max(next - 1);
+            }
+            if reader.corruption_detected() {
+                tail_corruptions += 1;
             }
         }
         versions.set_last_sequence(max_seq);
@@ -588,7 +604,25 @@ impl Db {
             group_commit_writers: Arc::new(pcp_obs::Histogram::new()),
             trace: Arc::new(pcp_obs::TraceLog::new(1024)),
         });
+        if tail_corruptions > 0 {
+            // A crash tore the tail of one or more logs; replay stopped at
+            // the committed prefix (the durability contract), but the event
+            // must be visible outside the process — a replica promoting over
+            // a torn tail shows up here.
+            inner
+                .metrics
+                .wal_tail_corruptions
+                .store(tail_corruptions, AtomicOrdering::Relaxed);
+            inner
+                .trace
+                .record("wal_tail_corruption", &[("logs", tail_corruptions)]);
+        }
         inner.gc_files(&mut inner.state.lock());
+        if let Some(tap) = &inner.opts.wal_tap {
+            // Seed the tap's replication horizon before the first write can
+            // race it.
+            tap.attach(max_seq + 1);
+        }
 
         let worker = Arc::clone(&inner);
         let bg_thread = std::thread::Builder::new()
@@ -714,6 +748,11 @@ impl Db {
         }
         if sync_writes {
             inner.metrics.wal_syncs.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        if let Some(tap) = &inner.opts.wal_tap {
+            // Serialized path holds the lock across commits, so tap order
+            // matches sequence order here too.
+            tap.on_record(first_seq, first_seq + batch.len() as u64 - 1, &record);
         }
         let next = st.mem.insert_batch(first_seq, batch.entry_refs());
         st.versions.set_last_sequence(next - 1);
@@ -864,6 +903,105 @@ impl Db {
         Ok(())
     }
 
+    /// The sequence number of the most recent committed write — the
+    /// replication offset a replica of this database must reach to be
+    /// caught up.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.inner.state.lock().versions.last_sequence()
+    }
+
+    /// Applies one replicated WAL record — the replica half of the
+    /// [`crate::WalTap`] contract.
+    ///
+    /// `record` must be the exact payload a primary's tap observed (a
+    /// `WriteBatch` encoding carrying its own base sequence). The record
+    /// is appended to this database's *own* WAL first — so a replica
+    /// restart replays it with the original sequence numbers — then
+    /// published through the same `Memtable::insert_batch` path the write
+    /// path uses.
+    ///
+    /// Sequence contiguity is enforced: a record entirely at or below the
+    /// applied horizon is a duplicate (idempotent resend after a
+    /// reconnect) and is skipped with `Ok`; a record starting anywhere
+    /// but exactly one past the horizon is rejected with
+    /// `InvalidData` **before** any side effect, so an out-of-order or
+    /// gapped stream can never tear the replica's state.
+    ///
+    /// Returns the new last applied sequence.
+    pub fn apply_replicated(&self, record: &[u8]) -> io::Result<SequenceNumber> {
+        let (first_seq, batch) = WriteBatch::decode(record)?;
+        if batch.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "replicated record carries no entries",
+            ));
+        }
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        inner.check_bg_error(&st)?;
+        let applied = st.versions.last_sequence();
+        let batch_last = first_seq + batch.len() as u64 - 1;
+        if batch_last <= applied {
+            return Ok(applied); // duplicate resend — already applied
+        }
+        if first_seq != applied + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "out-of-sequence replicated record: starts at {first_seq}, \
+                     applied horizon is {applied}"
+                ),
+            ));
+        }
+        inner.make_room_for_write(&mut st)?;
+        // Admission and rotation can release the lock; a concurrent group
+        // leader may also hold the WAL inside its I/O window. Wait for the
+        // WAL to be resident and re-check the horizon under the re-acquired
+        // lock before touching anything.
+        while st.wal.is_none() {
+            inner.writers_cv.wait(&mut st);
+        }
+        let applied = st.versions.last_sequence();
+        if batch_last <= applied {
+            return Ok(applied);
+        }
+        if first_seq != applied + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "out-of-sequence replicated record: starts at {first_seq}, \
+                     applied horizon is {applied}"
+                ),
+            ));
+        }
+        let sync_writes = inner.opts.sync_writes;
+        let retry = inner.opts.retry;
+        let wal = st.wal.as_mut().expect("wal open");
+        let wal_result = pcp_storage::with_retry(&retry, || wal.add_record(record))
+            .and_then(|()| {
+                if sync_writes {
+                    pcp_storage::with_retry(&retry, || wal.sync())
+                } else {
+                    Ok(())
+                }
+            });
+        if let Err(e) = wal_result {
+            st.bg_error = Some(format!("wal write failed: {e}"));
+            return Err(e);
+        }
+        if sync_writes {
+            inner.metrics.wal_syncs.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        let next = st.mem.insert_batch(first_seq, batch.entry_refs());
+        debug_assert_eq!(next - 1, batch_last);
+        st.versions.set_last_sequence(next - 1);
+        inner
+            .metrics
+            .puts
+            .fetch_add(batch.len() as u64, AtomicOrdering::Relaxed);
+        Ok(next - 1)
+    }
+
     /// Reports whether background maintenance is healthy or a background
     /// error has been latched (see [`DbHealth`]).
     pub fn health(&self) -> DbHealth {
@@ -900,6 +1038,7 @@ impl Db {
             bg_retries: m.bg_retries.load(AtomicOrdering::Relaxed),
             wal_syncs: m.wal_syncs.load(AtomicOrdering::Relaxed),
             group_commits: m.group_commits.load(AtomicOrdering::Relaxed),
+            wal_tail_corruptions: m.wal_tail_corruptions.load(AtomicOrdering::Relaxed),
             levels: std::array::from_fn(|l| LevelCompaction {
                 count: m.level_compactions[l].load(AtomicOrdering::Relaxed),
                 input_bytes: m.level_compaction_input_bytes[l].load(AtomicOrdering::Relaxed),
@@ -933,7 +1072,7 @@ impl Db {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         type Getter = fn(&Metrics) -> u64;
-        let counters: [(&str, &str, Getter); 17] = [
+        let counters: [(&str, &str, Getter); 18] = [
             ("pcp_engine_puts_total", "write operations accepted", |m| {
                 m.puts.load(AtomicOrdering::Relaxed)
             }),
@@ -984,6 +1123,9 @@ impl Db {
             }),
             ("pcp_engine_group_commits_total", "commit groups formed by write leaders", |m| {
                 m.group_commits.load(AtomicOrdering::Relaxed)
+            }),
+            ("pcp_engine_wal_tail_corruptions_total", "WAL logs with a torn/corrupt tail at replay", |m| {
+                m.wal_tail_corruptions.load(AtomicOrdering::Relaxed)
             }),
         ];
         for (name, help, get) in counters {
@@ -1337,13 +1479,24 @@ impl DbInner {
         let retry = self.opts.retry;
         let mut wal = st.wal.take().expect("wal open");
         let wal_result = MutexGuard::unlocked(st, || {
-            pcp_storage::with_retry(&retry, || wal.add_record(&record)).and_then(|()| {
-                if sync_writes {
-                    pcp_storage::with_retry(&retry, || wal.sync())
-                } else {
-                    Ok(())
-                }
-            })
+            pcp_storage::with_retry(&retry, || wal.add_record(&record))
+                .and_then(|()| {
+                    if sync_writes {
+                        pcp_storage::with_retry(&retry, || wal.sync())
+                    } else {
+                        Ok(())
+                    }
+                })
+                .inspect(|()| {
+                    // Replication tap, still inside the I/O window: the
+                    // record is durable here, and windows serialize (the
+                    // next leader waits for `st.wal` to return), so taps
+                    // observe records in sequence order without holding
+                    // the state lock.
+                    if let Some(tap) = &self.opts.wal_tap {
+                        tap.on_record(first_seq, first_seq + count - 1, &record);
+                    }
+                })
         });
         st.wal = Some(wal);
 

@@ -51,4 +51,4 @@ pub use repair::{repair, RepairReport};
 pub use table_cache::TableCache;
 pub use version::{FileMetadata, Version, NUM_LEVELS};
 pub use version_set::{CompactionPick, CompactionPolicy, VersionSet};
-pub use wal::{WalReader, WalWriter};
+pub use wal::{WalReader, WalTap, WalWriter};

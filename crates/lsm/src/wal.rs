@@ -14,6 +14,32 @@ use std::sync::Arc;
 
 const HEADER: usize = 8;
 
+/// Observer for committed WAL records — the replication hook.
+///
+/// The group-commit leader calls [`WalTap::on_record`] after a record's
+/// append+sync succeeded and before the batch is published to the memtable,
+/// handing over the exact payload bytes that went to the log. A tap must
+/// never fail the write: the record is already durable locally, so a tap
+/// that cannot forward it (queue full, peer down) degrades internally and
+/// reports through its own metrics.
+///
+/// Calls are serialized: group commit runs one I/O window at a time and the
+/// serialized fallback path holds the state lock, so `on_record` observes
+/// records in strictly increasing sequence order.
+pub trait WalTap: Send + Sync {
+    /// Called once at the end of `Db::open` with the sequence the next
+    /// record will start at, letting the tap seed its replication horizon
+    /// before any write happens.
+    fn attach(&self, next_seq: u64) {
+        let _ = next_seq;
+    }
+
+    /// One committed record: `payload` is the exact WAL record body
+    /// (a `WriteBatch` encoding starting at `first_seq`, ending at
+    /// `last_seq`).
+    fn on_record(&self, first_seq: u64, last_seq: u64, payload: &[u8]);
+}
+
 /// Appends length-prefixed, checksummed records to a log file.
 pub struct WalWriter {
     file: Box<dyn WritableFile>,
@@ -204,6 +230,75 @@ mod tests {
 
         let mut r = WalReader::open(&env, "l").unwrap();
         assert_eq!(r.next_record().unwrap(), Some(b"good-record".to_vec()));
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.corruption_detected());
+    }
+
+    /// A crash can land mid-header: the device persisted the last full
+    /// block write, and the record header itself straddles that boundary.
+    /// Only the first half of the header survives; replay must treat the
+    /// committed prefix as complete and flag corruption, not misread the
+    /// half-header as a length.
+    #[test]
+    fn header_split_across_sync_boundary_yields_prefix() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.add_record(b"durable-before-boundary").unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        // Append the first half of the next record's header as its own
+        // write (the part that made it into the last synced block), with
+        // the second half and the payload lost to the crash.
+        let next = b"never-committed";
+        let crc = mask_crc(crc32c(next));
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&crc.to_le_bytes());
+        header[4..].copy_from_slice(&(next.len() as u32).to_le_bytes());
+        for split in 1..HEADER {
+            let name = format!("split-{split}");
+            let base = env.open("l").unwrap();
+            let all = base.read_at(0, base.len() as usize).unwrap();
+            let mut f = env.create(&name).unwrap();
+            f.append(&all).unwrap();
+            f.append(&header[..split]).unwrap();
+            f.sync().unwrap();
+            drop(f);
+
+            let mut r = WalReader::open(&env, &name).unwrap();
+            assert_eq!(
+                r.next_record().unwrap(),
+                Some(b"durable-before-boundary".to_vec()),
+                "split at {split}"
+            );
+            assert!(r.next_record().unwrap().is_none(), "split at {split}");
+            assert!(r.corruption_detected(), "split at {split}");
+        }
+    }
+
+    /// The whole header made it across the sync boundary but none of the
+    /// payload did: replay sees a length promising bytes past EOF.
+    #[test]
+    fn header_committed_payload_lost_at_boundary() {
+        let env = env();
+        let mut w = WalWriter::create(&env, "l").unwrap();
+        w.add_record(b"durable").unwrap();
+        w.sync().unwrap();
+        let payload = b"payload-lost-in-crash";
+        let crc = mask_crc(crc32c(payload));
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&crc.to_le_bytes());
+        header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let base = env.open("l").unwrap();
+        let all = base.read_at(0, base.len() as usize).unwrap();
+        let mut f = env.create("torn2").unwrap();
+        f.append(&all).unwrap();
+        f.append(&header).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let mut r = WalReader::open(&env, "torn2").unwrap();
+        assert_eq!(r.next_record().unwrap(), Some(b"durable".to_vec()));
         assert!(r.next_record().unwrap().is_none());
         assert!(r.corruption_detected());
     }

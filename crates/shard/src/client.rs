@@ -3,14 +3,35 @@
 //! One request in flight per connection (the framing is strictly
 //! request/response); open several clients for concurrency — the server
 //! is thread-per-connection, so each client gets its own service thread.
+//!
+//! Transient connection losses (ECONNRESET, EPIPE, a server restart
+//! between requests) are handled inside [`KvClient::request`]: the client
+//! reconnects with exponential backoff and retries the request, up to the
+//! policy's attempt cap. After exhaustion the connection error is
+//! **latched** — every subsequent call fails fast with the same clear
+//! error until [`KvClient::reconnect`] succeeds — so a caller sees one
+//! coherent failure story instead of a different raw `io::Error` per call.
+//!
+//! Caveat: a retried write may execute twice if the failure hit after the
+//! server applied it but before the response arrived. The KV operations
+//! are idempotent (last-writer-wins puts and deletes), so this is safe
+//! here; a non-idempotent protocol extension should disable retry via
+//! [`pcp_storage::RetryPolicy::none`].
 
-use crate::proto::{read_frame, write_frame, BatchItem, Request, Response, ServiceStats};
+use crate::proto::{read_frame, write_frame, BatchItem, Request, Response, Role, ServiceStats};
+use pcp_storage::RetryPolicy;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected KV service client.
 pub struct KvClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    retry: RetryPolicy,
+    /// Set once reconnection attempts are exhausted; cleared by a
+    /// successful [`KvClient::reconnect`].
+    latched: Option<String>,
 }
 
 fn unexpected(resp: Response) -> io::Error {
@@ -23,22 +44,119 @@ fn unexpected(resp: Response) -> io::Error {
     }
 }
 
+/// Connection-level errors worth a transparent reconnect: the peer reset
+/// or half-closed the connection (ECONNRESET/EPIPE/ECONNABORTED, or EOF
+/// mid-response after a server restart).
+fn is_connection_loss(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
 impl KvClient {
-    /// Connects to a running [`crate::KvServer`].
+    /// Connects to a running [`crate::KvServer`] with the default
+    /// reconnect policy.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<KvClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(KvClient { stream })
+        Self::connect_with(addr, RetryPolicy::default())
     }
 
-    /// Sends one request and reads its response.
-    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
-        self.stream.flush()?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+    /// [`KvClient::connect`] with an explicit reconnect policy
+    /// (`RetryPolicy::none()` restores surface-every-error behaviour).
+    pub fn connect_with(addr: impl ToSocketAddrs, retry: RetryPolicy) -> io::Result<KvClient> {
+        let stream = Self::open(addr)?;
+        let addr = stream.peer_addr()?;
+        Ok(KvClient {
+            addr,
+            stream: Some(stream),
+            retry,
+            latched: None,
+        })
+    }
+
+    fn open(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    /// Clears a latched connection error by establishing a fresh
+    /// connection. No-op when the connection is already healthy.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        if self.stream.is_none() || self.latched.is_some() {
+            self.stream = Some(Self::open(self.addr)?);
+            self.latched = None;
+        }
+        Ok(())
+    }
+
+    /// The latched connection error, if reconnection was exhausted.
+    pub fn connection_error(&self) -> Option<&str> {
+        self.latched.as_deref()
+    }
+
+    fn round_trip(stream: &mut TcpStream, req: &Request) -> io::Result<Response> {
+        write_frame(stream, &req.encode())?;
+        stream.flush()?;
+        let payload = read_frame(stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
         })?;
         Response::decode(&payload)
+    }
+
+    fn latched_error(&self, msg: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!(
+                "connection to {} failed after {} attempts and is latched: {msg}; \
+                 call reconnect() to retry",
+                self.addr, self.retry.max_attempts
+            ),
+        )
+    }
+
+    /// One attempt: (re)open the connection if needed, then round-trip.
+    fn request_once(&mut self, req: &Request) -> io::Result<Response> {
+        if self.stream.is_none() {
+            self.stream = Some(Self::open(self.addr)?);
+        }
+        match self.stream.as_mut() {
+            Some(stream) => Self::round_trip(stream, req),
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "no connection")),
+        }
+    }
+
+    /// Sends one request and reads its response, transparently
+    /// reconnecting on transient connection loss (see module docs).
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        if let Some(msg) = self.latched.clone() {
+            return Err(self.latched_error(&msg));
+        }
+        let mut backoff = self.retry.base_backoff;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.request_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_connection_loss(&e) || e.kind() == io::ErrorKind::ConnectionRefused => {
+                    // Drop the dead stream; the next attempt reconnects.
+                    self.stream = None;
+                    if attempt >= self.retry.max_attempts {
+                        self.latched = Some(e.to_string());
+                        return Err(self.latched_error(&e.to_string()));
+                    }
+                    if backoff > Duration::ZERO {
+                        std::thread::sleep(backoff.min(self.retry.max_backoff));
+                    }
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Reads `key`.
@@ -100,6 +218,23 @@ impl KvClient {
     pub fn metrics_text(&mut self) -> io::Result<String> {
         match self.request(&Request::Metrics)? {
             Response::MetricsText(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Queries the service's role and per-shard applied sequences.
+    pub fn role(&mut self) -> io::Result<(Role, Vec<u64>)> {
+        match self.request(&Request::Role)? {
+            Response::RoleInfo { role, last_seqs } => Ok((role, last_seqs)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promotes a replica service to primary (idempotent; a no-op on a
+    /// primary).
+    pub fn promote(&mut self) -> io::Result<()> {
+        match self.request(&Request::Promote)? {
+            Response::Ok => Ok(()),
             other => Err(unexpected(other)),
         }
     }

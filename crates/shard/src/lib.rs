@@ -20,16 +20,28 @@
 //!   ([`proto`]) with GET/PUT/DELETE/BATCH/SCAN/STATS/METRICS,
 //! * [`KvServer`] — a thread-per-connection TCP service with graceful
 //!   shutdown, per-op latency capture, and Prometheus text exposition
-//!   of the full `pcp-obs` registry — and the blocking [`KvClient`].
+//!   of the full `pcp-obs` registry — and the blocking [`KvClient`]
+//!   (which reconnects with backoff on transient connection loss),
+//! * primary→replica replication: a [`ReplSource`] taps every shard's
+//!   consolidated group-commit WAL records (via [`pcp_lsm::WalTap`]) into
+//!   bounded outbound queues, REPL_SUBSCRIBE streams them with lockstep
+//!   acknowledgements, and a [`ReplicaServer`] applies them on a
+//!   read-only replica that can be promoted to primary — crash-correct
+//!   failover, exercised under seeded `FaultEnv` kills (see `DESIGN.md`
+//!   §13 "Replication & failover").
 
 pub mod client;
 pub mod proto;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod sharded;
+pub mod ship;
 
 pub use client::KvClient;
-pub use proto::{BatchItem, Request, Response, ServiceStats};
+pub use proto::{BatchItem, Request, Response, Role, ServiceStats};
+pub use replica::ReplicaServer;
 pub use router::{HashRouter, RangeRouter, Router};
-pub use server::KvServer;
+pub use server::{KvServer, ServerOptions};
 pub use sharded::{ShardSnapshot, ShardedDb, ShardedHealth, ShardedIter};
+pub use ship::{ReplConfig, ReplSource};

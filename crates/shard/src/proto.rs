@@ -15,8 +15,18 @@
 //! message: an opcode byte followed by varint-length-prefixed fields
 //! ([`pcp_codec::put_u64`]).
 //!
-//! Requests: GET, PUT, DELETE, BATCH, SCAN, STATS, METRICS.
-//! Responses: OK, VALUE, NOT_FOUND, ENTRIES, STATS, ERR, METRICS_TEXT.
+//! Requests: GET, PUT, DELETE, BATCH, SCAN, STATS, METRICS, plus the
+//! replication control plane: REPL_SUBSCRIBE, REPL_ACK, PROMOTE, ROLE.
+//! Responses: OK, VALUE, NOT_FOUND, ENTRIES, STATS, ERR, METRICS_TEXT,
+//! REPL_RECORD, REPL_END, ROLE_INFO.
+//!
+//! A REPL_SUBSCRIBE turns its connection into a record stream: the server
+//! sends REPL_RECORD frames (each carrying one consolidated group-commit
+//! WAL record plus its base sequence and payload CRC-32C) and waits for the
+//! subscriber's REPL_ACK before sending the next — a lockstep window of
+//! one, which makes the acknowledged replication offset exact. REPL_END
+//! closes the stream cleanly (server shutdown), distinguishing a drained
+//! subscriber from a dropped socket.
 
 use std::io::{self, Read, Write};
 
@@ -143,6 +153,10 @@ mod op {
     pub const SCAN: u8 = 0x05;
     pub const STATS: u8 = 0x06;
     pub const METRICS: u8 = 0x07;
+    pub const REPL_SUBSCRIBE: u8 = 0x08;
+    pub const PROMOTE: u8 = 0x09;
+    pub const ROLE: u8 = 0x0a;
+    pub const REPL_ACK: u8 = 0x0b;
 
     pub const OK: u8 = 0x80;
     pub const VALUE: u8 = 0x81;
@@ -151,9 +165,38 @@ mod op {
     pub const STATS_REPLY: u8 = 0x84;
     pub const ERR: u8 = 0x85;
     pub const METRICS_TEXT: u8 = 0x86;
+    pub const REPL_RECORD: u8 = 0x87;
+    pub const REPL_END: u8 = 0x88;
+    pub const ROLE_INFO: u8 = 0x89;
 
     pub const ITEM_PUT: u8 = 0x00;
     pub const ITEM_DELETE: u8 = 0x01;
+}
+
+/// Service role, carried by [`Response::RoleInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; streams its WAL to subscribers.
+    Primary,
+    /// Applies a primary's stream; refuses writes until promoted.
+    Replica,
+}
+
+impl Role {
+    fn to_wire(self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Replica => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> io::Result<Role> {
+        match b {
+            0 => Ok(Role::Primary),
+            1 => Ok(Role::Replica),
+            t => Err(bad(format!("unknown role tag {t:#04x}"))),
+        }
+    }
 }
 
 /// One operation of a BATCH request.
@@ -184,6 +227,24 @@ pub enum Request {
     /// Fetch the full metrics registry in Prometheus text exposition
     /// format (see `OBSERVABILITY.md` for the metric contract).
     Metrics,
+    /// Turn this connection into a replication stream for `shard`,
+    /// starting at `from_seq` (the subscriber's applied horizon + 1).
+    ReplSubscribe {
+        /// Shard index on the serving side.
+        shard: u64,
+        /// First sequence the subscriber still needs.
+        from_seq: u64,
+    },
+    /// Acknowledge the last [`Response::ReplRecord`]: everything up to
+    /// `applied_seq` is durable on the subscriber.
+    ReplAck {
+        /// The subscriber's new applied horizon.
+        applied_seq: u64,
+    },
+    /// Promote a replica service to primary (idempotent).
+    Promote,
+    /// Query the service's current role and per-shard applied sequences.
+    Role,
 }
 
 /// A server → client message.
@@ -203,6 +264,27 @@ pub enum Response {
     MetricsText(String),
     /// The request failed; human-readable reason.
     Err(String),
+    /// One replicated WAL record. `crc` is the unmasked CRC-32C of
+    /// `record`, re-verified on the apply path (the frame CRC already
+    /// covered it in flight; this one survives into the subscriber's
+    /// buffers).
+    ReplRecord {
+        /// Base sequence of the record (also embedded in its bytes).
+        first_seq: u64,
+        /// CRC-32C of `record`.
+        crc: u32,
+        /// The exact consolidated WAL record payload.
+        record: Vec<u8>,
+    },
+    /// Clean end of a replication stream (server shutting down).
+    ReplEnd,
+    /// ROLE result: current role plus each shard's last applied sequence.
+    RoleInfo {
+        /// Primary or replica.
+        role: Role,
+        /// Last applied sequence per shard, indexed by shard.
+        last_seqs: Vec<u64>,
+    },
 }
 
 /// Service-level and engine-level counters returned by STATS.
@@ -272,6 +354,17 @@ impl Request {
             }
             Request::Stats => out.push(op::STATS),
             Request::Metrics => out.push(op::METRICS),
+            Request::ReplSubscribe { shard, from_seq } => {
+                out.push(op::REPL_SUBSCRIBE);
+                pcp_codec::put_u64(&mut out, *shard);
+                pcp_codec::put_u64(&mut out, *from_seq);
+            }
+            Request::ReplAck { applied_seq } => {
+                out.push(op::REPL_ACK);
+                pcp_codec::put_u64(&mut out, *applied_seq);
+            }
+            Request::Promote => out.push(op::PROMOTE),
+            Request::Role => out.push(op::ROLE),
         }
         out
     }
@@ -314,6 +407,16 @@ impl Request {
             }
             op::STATS => Request::Stats,
             op::METRICS => Request::Metrics,
+            op::REPL_SUBSCRIBE => {
+                let shard = take_u64(&mut input)?;
+                let from_seq = take_u64(&mut input)?;
+                Request::ReplSubscribe { shard, from_seq }
+            }
+            op::REPL_ACK => Request::ReplAck {
+                applied_seq: take_u64(&mut input)?,
+            },
+            op::PROMOTE => Request::Promote,
+            op::ROLE => Request::Role,
             t => return Err(bad(format!("unknown request opcode {t:#04x}"))),
         };
         if !input.is_empty() {
@@ -369,6 +472,25 @@ impl Response {
             Response::Err(msg) => {
                 out.push(op::ERR);
                 put_bytes(&mut out, msg.as_bytes());
+            }
+            Response::ReplRecord {
+                first_seq,
+                crc,
+                record,
+            } => {
+                out.push(op::REPL_RECORD);
+                pcp_codec::put_u64(&mut out, *first_seq);
+                pcp_codec::put_u64(&mut out, *crc as u64);
+                put_bytes(&mut out, record);
+            }
+            Response::ReplEnd => out.push(op::REPL_END),
+            Response::RoleInfo { role, last_seqs } => {
+                out.push(op::ROLE_INFO);
+                out.push(role.to_wire());
+                pcp_codec::put_u64(&mut out, last_seqs.len() as u64);
+                for s in last_seqs {
+                    pcp_codec::put_u64(&mut out, *s);
+                }
             }
         }
         out
@@ -429,6 +551,30 @@ impl Response {
                 let msg = take_bytes(&mut input)?;
                 Response::Err(String::from_utf8_lossy(&msg).into_owned())
             }
+            op::REPL_RECORD => {
+                let first_seq = take_u64(&mut input)?;
+                let crc = take_u64(&mut input)?;
+                let crc = u32::try_from(crc).map_err(|_| bad("repl record crc out of range"))?;
+                let record = take_bytes(&mut input)?;
+                Response::ReplRecord {
+                    first_seq,
+                    crc,
+                    record,
+                }
+            }
+            op::REPL_END => Response::ReplEnd,
+            op::ROLE_INFO => {
+                let role = Role::from_wire(take_u8(&mut input)?)?;
+                let n = take_u64(&mut input)?;
+                if n > 1 << 20 {
+                    return Err(bad("absurd shard count in role info"));
+                }
+                let mut last_seqs = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    last_seqs.push(take_u64(&mut input)?);
+                }
+                Response::RoleInfo { role, last_seqs }
+            }
             t => return Err(bad(format!("unknown response opcode {t:#04x}"))),
         };
         if !input.is_empty() {
@@ -467,6 +613,15 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::ReplSubscribe {
+            shard: 3,
+            from_seq: 1_000_001,
+        });
+        roundtrip_request(Request::ReplAck {
+            applied_seq: u64::MAX,
+        });
+        roundtrip_request(Request::Promote);
+        roundtrip_request(Request::Role);
     }
 
     #[test]
@@ -498,6 +653,20 @@ mod tests {
                     .into(),
             ),
             Response::Err("shard 2 wedged".into()),
+            Response::ReplRecord {
+                first_seq: 42,
+                crc: pcp_codec::crc32c(b"record-bytes"),
+                record: b"record-bytes".to_vec(),
+            },
+            Response::ReplEnd,
+            Response::RoleInfo {
+                role: Role::Replica,
+                last_seqs: vec![10, 0, 73],
+            },
+            Response::RoleInfo {
+                role: Role::Primary,
+                last_seqs: Vec::new(),
+            },
         ] {
             let payload = resp.encode();
             assert_eq!(Response::decode(&payload).unwrap(), resp);

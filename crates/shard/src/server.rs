@@ -15,16 +15,17 @@
 //! exposition — the metric contract is documented in `OBSERVABILITY.md`.
 
 use crate::proto::{
-    take_frame, write_frame, Request, Response, ServiceStats, SCAN_LIMIT_MAX,
+    take_frame, write_frame, Request, Response, Role, ServiceStats, SCAN_LIMIT_MAX,
 };
 use crate::sharded::ShardedDb;
+use crate::ship::{NextRecord, ReplSource};
 use crate::BatchItem;
 use parking_lot::Mutex;
 use pcp_lsm::WriteBatch;
 use pcp_workload::LatencyHistogram;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,10 +33,34 @@ use std::time::{Duration, Instant};
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Hook a replica supplies to run its side of PROMOTE (stop pullers and
+/// drain them) before the server flips its role to primary.
+pub type PromoteHook = Arc<dyn Fn() -> io::Result<()> + Send + Sync>;
+
+/// Configuration for [`KvServer::start_with`].
+#[derive(Default)]
+pub struct ServerOptions {
+    /// Role the service starts in. A [`Role::Replica`] refuses writes
+    /// until promoted.
+    pub role: Option<Role>,
+    /// Outbound replication source: enables REPL_SUBSCRIBE streaming.
+    pub repl_source: Option<Arc<ReplSource>>,
+    /// Called on PROMOTE (and [`KvServer::promote`]) while still in
+    /// replica role, before the role flips.
+    pub on_promote: Option<PromoteHook>,
+}
+
 struct ServerShared {
     db: Arc<ShardedDb>,
     /// Generation counter doubling as the shutdown flag: odd = draining.
     shutdown: std::sync::atomic::AtomicBool,
+    /// Wire encoding of [`Role`]; writes are refused while it reads
+    /// replica.
+    role: AtomicU8,
+    repl: Option<Arc<ReplSource>>,
+    on_promote: Option<PromoteHook>,
+    /// Serializes PROMOTE so the hook runs at most once.
+    promote_lock: Mutex<()>,
     ops: Arc<AtomicU64>,
     errors: Arc<AtomicU64>,
     active_conns: Arc<AtomicUsize>,
@@ -48,6 +73,28 @@ struct ServerShared {
 impl ServerShared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn role(&self) -> Role {
+        if self.role.load(Ordering::SeqCst) == 1 {
+            Role::Replica
+        } else {
+            Role::Primary
+        }
+    }
+
+    /// PROMOTE: run the replica's hook (stop and drain pullers), then flip
+    /// the role. Idempotent — promoting a primary is a no-op.
+    fn promote(&self) -> io::Result<()> {
+        let _g = self.promote_lock.lock();
+        if self.role() == Role::Primary {
+            return Ok(());
+        }
+        if let Some(hook) = &self.on_promote {
+            hook()?;
+        }
+        self.role.store(0, Ordering::SeqCst);
+        Ok(())
     }
 
     fn stats(&self) -> ServiceStats {
@@ -69,6 +116,17 @@ impl ServerShared {
     fn handle(&self, req: Request) -> Response {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
+        if self.role() == Role::Replica
+            && matches!(
+                req,
+                Request::Put(..) | Request::Delete(..) | Request::Batch(..)
+            )
+        {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Err(
+                "replica role refuses writes; write to the primary or PROMOTE first".into(),
+            );
+        }
         let result = match req {
             Request::Get(key) => match self.db.get(&key) {
                 Ok(Some(v)) => Ok((Response::Value(v), &self.read_latency)),
@@ -107,6 +165,22 @@ impl ServerShared {
                 Response::MetricsText(self.registry.render_prometheus()),
                 &self.read_latency,
             )),
+            Request::Role => Ok((
+                Response::RoleInfo {
+                    role: self.role(),
+                    last_seqs: self.db.last_sequences(),
+                },
+                &self.read_latency,
+            )),
+            Request::Promote => self
+                .promote()
+                .map(|()| (Response::Ok, &self.write_latency)),
+            // Subscriptions are intercepted in `serve_connection`; an ack
+            // with no subscription on this connection is a protocol error.
+            Request::ReplSubscribe { .. } | Request::ReplAck { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication message outside an active subscription",
+            )),
         };
         match result {
             Ok((resp, histogram)) => {
@@ -131,8 +205,19 @@ pub struct KvServer {
 
 impl KvServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections against `db`.
+    /// accepting connections against `db`, as a primary with replication
+    /// disabled.
     pub fn start(db: Arc<ShardedDb>, addr: impl ToSocketAddrs) -> io::Result<KvServer> {
+        Self::start_with(db, addr, ServerOptions::default())
+    }
+
+    /// [`KvServer::start`] with an explicit role, replication source, and
+    /// promote hook (see [`ServerOptions`]).
+    pub fn start_with(
+        db: Arc<ShardedDb>,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> io::Result<KvServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let ops = Arc::new(AtomicU64::new(0));
@@ -177,9 +262,20 @@ impl KvServer {
                 Arc::clone(write_latency.inner()),
             );
         }
+        if let Some(source) = &options.repl_source {
+            source.register_metrics(&registry);
+        }
+        let role = match options.role.unwrap_or(Role::Primary) {
+            Role::Primary => 0,
+            Role::Replica => 1,
+        };
         let shared = Arc::new(ServerShared {
             db,
             shutdown: std::sync::atomic::AtomicBool::new(false),
+            role: AtomicU8::new(role),
+            repl: options.repl_source,
+            on_promote: options.on_promote,
+            promote_lock: Mutex::new(()),
             ops,
             errors,
             active_conns,
@@ -188,6 +284,15 @@ impl KvServer {
             registry,
             conns: Mutex::new(Vec::new()),
         });
+        {
+            let role_shared = Arc::clone(&shared);
+            shared.registry.register_fn_gauge(
+                "pcp_repl_role",
+                "service role: 0 = primary, 1 = replica",
+                Vec::new(),
+                move || role_shared.role.load(Ordering::SeqCst) as f64,
+            );
+        }
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("pcp-kv-accept".into())
@@ -224,6 +329,17 @@ impl KvServer {
     /// collectors (e.g. device stats) into the same exposition.
     pub fn registry(&self) -> &pcp_obs::Registry {
         &self.shared.registry
+    }
+
+    /// The service's current role.
+    pub fn role(&self) -> Role {
+        self.shared.role()
+    }
+
+    /// Promotes a replica service to primary in-process — the same path
+    /// the PROMOTE opcode takes. Idempotent on a primary.
+    pub fn promote(&self) -> io::Result<()> {
+        self.shared.promote()
     }
 
     /// Stops accepting, drains in-flight connections, and joins every
@@ -298,6 +414,12 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> io::Result<
     loop {
         while let Some(payload) = take_frame(&mut buf)? {
             let response = match Request::decode(&payload) {
+                Ok(Request::ReplSubscribe { shard, from_seq }) => {
+                    // The connection becomes a one-way record stream (with
+                    // lockstep acks flowing back); it never returns to
+                    // request/response service.
+                    return serve_subscriber(stream, shared, buf, shard, from_seq);
+                }
                 Ok(req) => shared.handle(req),
                 Err(e) => {
                     shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -311,6 +433,116 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> io::Result<
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Outcome of waiting for a subscriber's REPL_ACK.
+enum AckWait {
+    /// The subscriber acknowledged up to this sequence.
+    Acked(u64),
+    /// Server shutdown was requested while waiting.
+    Shutdown,
+    /// The subscriber closed its end.
+    Eof,
+}
+
+/// Streams shard `shard`'s committed records to a subscriber, one record
+/// per acknowledged round trip, until the subscriber disconnects or the
+/// server shuts down — in which case the stream is drained with a clean
+/// REPL_END frame rather than a dropped socket.
+fn serve_subscriber(
+    mut stream: TcpStream,
+    shared: &ServerShared,
+    mut buf: Vec<u8>,
+    shard: u64,
+    from_seq: u64,
+) -> io::Result<()> {
+    let Some(source) = shared.repl.as_ref() else {
+        write_frame(
+            &mut stream,
+            &Response::Err("replication is not enabled on this service".into()).encode(),
+        )?;
+        return Ok(());
+    };
+    if shard as usize >= source.shards() {
+        write_frame(
+            &mut stream,
+            &Response::Err(format!("no such shard {shard}")).encode(),
+        )?;
+        return Ok(());
+    }
+    let shard = shard as usize;
+    let retry = pcp_storage::RetryPolicy::default();
+    let mut want = from_seq;
+    loop {
+        if shared.shutting_down() {
+            let _ = write_frame(&mut stream, &Response::ReplEnd.encode());
+            return Ok(());
+        }
+        match source.next_record(shard, want, POLL_INTERVAL) {
+            Ok(NextRecord::Pending) => continue,
+            Ok(NextRecord::Record { first_seq, payload }) => {
+                let frame = Response::ReplRecord {
+                    first_seq,
+                    crc: pcp_codec::crc32c(&payload),
+                    record: payload,
+                }
+                .encode();
+                pcp_storage::with_retry(&retry, || write_frame(&mut stream, &frame))?;
+                match wait_for_ack(&mut stream, &mut buf, shared)? {
+                    AckWait::Acked(applied_seq) => {
+                        source.ack(shard, applied_seq);
+                        want = applied_seq + 1;
+                    }
+                    AckWait::Shutdown => {
+                        let _ = write_frame(&mut stream, &Response::ReplEnd.encode());
+                        return Ok(());
+                    }
+                    AckWait::Eof => return Ok(()),
+                }
+            }
+            Err(e) => {
+                // Gap or misalignment: tell the subscriber why, then close
+                // so it can latch the condition instead of spinning.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut stream, &Response::Err(e.to_string()).encode())?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Blocks (polling the shutdown flag) until the subscriber's next frame,
+/// which must be a REPL_ACK.
+fn wait_for_ack(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &ServerShared,
+) -> io::Result<AckWait> {
+    let mut chunk = [0u8; 4 << 10];
+    loop {
+        if let Some(payload) = take_frame(buf)? {
+            return match Request::decode(&payload) {
+                Ok(Request::ReplAck { applied_seq }) => Ok(AckWait::Acked(applied_seq)),
+                Ok(other) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected REPL_ACK on subscription, got {other:?}"),
+                )),
+                Err(e) => Err(e),
+            };
+        }
+        if shared.shutting_down() {
+            return Ok(AckWait::Shutdown);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(AckWait::Eof),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock

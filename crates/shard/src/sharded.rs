@@ -116,6 +116,21 @@ impl ShardedDb {
         base: Options,
         router: Arc<dyn Router>,
     ) -> io::Result<ShardedDb> {
+        Self::open_with_envs_configured(envs, base, router, |_, _| {})
+    }
+
+    /// [`ShardedDb::open_with_envs`] with a per-shard options hook:
+    /// `configure(i, &mut opts)` runs on shard `i`'s cloned options before
+    /// its database opens. This is how a replicated engine installs one
+    /// [`pcp_lsm::WalTap`] per shard (the base options are cloned for
+    /// every shard, so a tap set there would be shared — wrong for
+    /// per-shard sequence streams).
+    pub fn open_with_envs_configured(
+        envs: Vec<EnvRef>,
+        base: Options,
+        router: Arc<dyn Router>,
+        mut configure: impl FnMut(usize, &mut Options),
+    ) -> io::Result<ShardedDb> {
         let n = router.shards();
         if n == 0 || envs.len() != n {
             return Err(io::Error::new(
@@ -138,6 +153,7 @@ impl ShardedDb {
                 if opts.dir.is_some() {
                     opts = opts.in_subdir(format!("shard-{i:03}"));
                 }
+                configure(i, &mut opts);
                 Db::open(env, opts)
             })
             .collect::<io::Result<Vec<_>>>()?;
@@ -169,6 +185,12 @@ impl ShardedDb {
     /// Direct access to one shard's database (diagnostics and tests).
     pub fn shard(&self, i: usize) -> &Db {
         &self.shards[i]
+    }
+
+    /// Last committed sequence per shard — the per-shard replication
+    /// offsets a replica must reach to be caught up.
+    pub fn last_sequences(&self) -> Vec<u64> {
+        self.shards.iter().map(|db| db.last_sequence()).collect()
     }
 
     // -- write path -------------------------------------------------------
@@ -489,6 +511,7 @@ fn merge_metrics(total: &mut MetricsSnapshot, m: &MetricsSnapshot) {
     total.bg_retries += m.bg_retries;
     total.wal_syncs += m.wal_syncs;
     total.group_commits += m.group_commits;
+    total.wal_tail_corruptions += m.wal_tail_corruptions;
     for (t, l) in total.levels.iter_mut().zip(m.levels.iter()) {
         t.count += l.count;
         t.input_bytes += l.input_bytes;

@@ -1,0 +1,466 @@
+//! Primary-side replication: group-commit WAL records → bounded queues →
+//! subscribers.
+//!
+//! A [`ReplSource`] owns one [`ShardTap`] per shard. Each tap implements
+//! [`pcp_lsm::WalTap`]: the group-commit leader hands it every consolidated
+//! WAL record right after the append (and sync) succeeded, still inside the
+//! lock-free I/O window, so taps observe records in strictly increasing
+//! sequence order. Records sit in a bounded per-shard queue until the
+//! shard's subscriber acknowledges them; on overflow the oldest records are
+//! dropped (counted — a subscriber that later asks for a dropped sequence
+//! gets a replication-gap error and must resync from a fresh copy, which is
+//! out of scope here).
+//!
+//! The tap never fails a write: by the time it fires, the record is already
+//! durable in the primary's own WAL, so the only correct degradation is to
+//! keep accepting writes and surface the replication lag in metrics. With
+//! [`ReplConfig::sync_ack_timeout`] set, the tap additionally holds the
+//! commit inside the I/O window until the subscriber acknowledges the
+//! record (semi-synchronous replication) — and on timeout releases it
+//! anyway, counting the degradation, rather than stalling writers forever
+//! on a dead replica.
+
+use parking_lot::{Condvar, Mutex};
+use pcp_lsm::WalTap;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ReplSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplConfig {
+    /// Per-shard cap on queued (unacknowledged) records.
+    pub queue_records: usize,
+    /// Per-shard cap on queued record bytes.
+    pub queue_bytes: usize,
+    /// When set, a commit waits inside the WAL I/O window until the
+    /// subscriber acks the record or this timeout passes (semi-sync
+    /// replication). `None` ships fully asynchronously.
+    pub sync_ack_timeout: Option<Duration>,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            queue_records: 4096,
+            queue_bytes: 32 << 20,
+            sync_ack_timeout: None,
+        }
+    }
+}
+
+/// One queued consolidated WAL record.
+struct QueuedRecord {
+    first_seq: u64,
+    last_seq: u64,
+    payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    records: VecDeque<QueuedRecord>,
+    bytes: usize,
+    /// The sequence the next record will start at (attach horizon, then
+    /// maintained by `on_record`).
+    horizon: u64,
+    /// Highest sequence the subscriber has acknowledged as durable.
+    acked: u64,
+    /// Records evicted by overflow — each is a hole a subscriber can no
+    /// longer replay past.
+    dropped_records: u64,
+    /// Records acknowledged and retired.
+    shipped_records: u64,
+    /// Bytes acknowledged and retired.
+    shipped_bytes: u64,
+    /// Semi-sync commits released by timeout instead of ack.
+    sync_degraded: u64,
+}
+
+/// The per-shard replication tap (see module docs).
+pub struct ShardTap {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    config: ReplConfig,
+}
+
+/// What [`ReplSource::next_record`] found for a subscriber.
+#[derive(Debug)]
+pub enum NextRecord {
+    /// The record starting exactly at the requested sequence.
+    Record {
+        /// Base sequence of the record.
+        first_seq: u64,
+        /// The exact WAL record payload.
+        payload: Vec<u8>,
+    },
+    /// Nothing available yet (the wait timed out); poll again.
+    Pending,
+}
+
+impl ShardTap {
+    fn new(config: ReplConfig) -> ShardTap {
+        ShardTap {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            config,
+        }
+    }
+
+    /// Blocks up to `wait` for the record starting at `from_seq`.
+    ///
+    /// `Err` means the stream cannot serve `from_seq` at all: the sequence
+    /// was dropped by overflow or retired by an earlier subscriber, so the
+    /// caller must resync out of band.
+    fn next_record(&self, from_seq: u64, wait: Duration) -> io::Result<NextRecord> {
+        let deadline = Instant::now() + wait;
+        let mut st = self.state.lock();
+        loop {
+            if from_seq >= st.horizon {
+                // Subscriber is caught up; wait for the next commit.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() || self.cv.wait_for(&mut st, remaining) {
+                    return Ok(NextRecord::Pending);
+                }
+                continue;
+            }
+            let first_retained = st.records.front().map_or(st.horizon, |r| r.first_seq);
+            if from_seq < first_retained {
+                return Err(io::Error::other(format!(
+                    "replication gap: sequence {from_seq} no longer retained \
+                     (stream resumes at {first_retained}); resync required"
+                )));
+            }
+            for r in &st.records {
+                if r.first_seq == from_seq {
+                    return Ok(NextRecord::Record {
+                        first_seq: r.first_seq,
+                        payload: r.payload.clone(),
+                    });
+                }
+                if from_seq <= r.last_seq {
+                    // Inside a record but not at its start: the subscriber's
+                    // horizon disagrees with record boundaries.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "replication stream misaligned: sequence {from_seq} \
+                             falls inside record [{}, {}]",
+                            r.first_seq, r.last_seq
+                        ),
+                    ));
+                }
+            }
+            // Unreachable in practice (the queue is sequence-contiguous),
+            // but degrade to a gap error rather than spin.
+            return Err(io::Error::other(format!(
+                "replication gap: sequence {from_seq} missing from retained window"
+            )));
+        }
+    }
+
+    /// Records everything up to `seq` as durable on the subscriber and
+    /// retires the covered queue entries.
+    fn ack(&self, seq: u64) {
+        let mut st = self.state.lock();
+        st.acked = st.acked.max(seq);
+        while st.records.front().is_some_and(|r| r.last_seq <= st.acked) {
+            if let Some(r) = st.records.pop_front() {
+                st.bytes -= r.payload.len();
+                st.shipped_records += 1;
+                st.shipped_bytes += r.payload.len() as u64;
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+impl WalTap for ShardTap {
+    fn attach(&self, next_seq: u64) {
+        let mut st = self.state.lock();
+        st.horizon = next_seq;
+        st.acked = next_seq.saturating_sub(1);
+    }
+
+    fn on_record(&self, first_seq: u64, last_seq: u64, payload: &[u8]) {
+        let mut st = self.state.lock();
+        st.bytes += payload.len();
+        st.records.push_back(QueuedRecord {
+            first_seq,
+            last_seq,
+            payload: payload.to_vec(),
+        });
+        st.horizon = last_seq + 1;
+        while st.records.len() > self.config.queue_records || st.bytes > self.config.queue_bytes {
+            match st.records.pop_front() {
+                Some(r) => {
+                    st.bytes -= r.payload.len();
+                    st.dropped_records += 1;
+                }
+                None => break,
+            }
+        }
+        self.cv.notify_all();
+        if let Some(timeout) = self.config.sync_ack_timeout {
+            let deadline = Instant::now() + timeout;
+            while st.acked < last_seq {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() || self.cv.wait_for(&mut st, remaining) {
+                    st.sync_degraded += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The primary's outbound replication state: one tap per shard.
+pub struct ReplSource {
+    taps: Vec<Arc<ShardTap>>,
+}
+
+impl ReplSource {
+    /// A source for `shards` shards under `config`.
+    pub fn new(shards: usize, config: ReplConfig) -> Arc<ReplSource> {
+        Arc::new(ReplSource {
+            taps: (0..shards).map(|_| Arc::new(ShardTap::new(config))).collect(),
+        })
+    }
+
+    /// Number of shards this source serves.
+    pub fn shards(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The tap to install as shard `i`'s [`pcp_lsm::Options::wal_tap`].
+    pub fn tap(&self, shard: usize) -> Option<Arc<dyn WalTap>> {
+        self.taps
+            .get(shard)
+            .map(|t| Arc::clone(t) as Arc<dyn WalTap>)
+    }
+
+    /// Blocks up to `wait` for shard `shard`'s record starting at
+    /// `from_seq`. `Err` means the sequence can no longer be served
+    /// (dropped by overflow or misaligned) and the caller must resync.
+    pub fn next_record(&self, shard: usize, from_seq: u64, wait: Duration) -> io::Result<NextRecord> {
+        match self.taps.get(shard) {
+            Some(tap) => tap.next_record(from_seq, wait),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no such shard {shard}"),
+            )),
+        }
+    }
+
+    /// Acknowledges shard `shard` up to `seq`.
+    pub fn ack(&self, shard: usize, seq: u64) {
+        if let Some(tap) = self.taps.get(shard) {
+            tap.ack(seq);
+        }
+    }
+
+    /// Highest acknowledged sequence for shard `shard`.
+    pub fn acked(&self, shard: usize) -> u64 {
+        self.taps.get(shard).map_or(0, |t| t.state.lock().acked)
+    }
+
+    /// Replication lag of shard `shard` as (records, bytes) still queued.
+    pub fn lag(&self, shard: usize) -> (u64, u64) {
+        self.taps.get(shard).map_or((0, 0), |t| {
+            let st = t.state.lock();
+            (st.records.len() as u64, st.bytes as u64)
+        })
+    }
+
+    /// Registers the `pcp_repl_*` primary-side series, one per shard
+    /// (labelled `shard="<index>"`) — see `OBSERVABILITY.md`.
+    pub fn register_metrics(self: &Arc<Self>, registry: &pcp_obs::Registry) {
+        type Getter = fn(&QueueState) -> f64;
+        let gauges: [(&str, &str, Getter); 4] = [
+            (
+                "pcp_repl_queue_records",
+                "replication lag: records queued, not yet acknowledged",
+                |st| st.records.len() as f64,
+            ),
+            (
+                "pcp_repl_queue_bytes",
+                "replication lag: record bytes queued, not yet acknowledged",
+                |st| st.bytes as f64,
+            ),
+            (
+                "pcp_repl_acked_seq",
+                "highest sequence acknowledged by the subscriber",
+                |st| st.acked as f64,
+            ),
+            (
+                "pcp_repl_horizon_seq",
+                "sequence the next committed record will start at",
+                |st| st.horizon as f64,
+            ),
+        ];
+        type Counter = fn(&QueueState) -> u64;
+        let counters: [(&str, &str, Counter); 4] = [
+            (
+                "pcp_repl_shipped_records_total",
+                "records acknowledged and retired from the queue",
+                |st| st.shipped_records,
+            ),
+            (
+                "pcp_repl_shipped_bytes_total",
+                "record bytes acknowledged and retired from the queue",
+                |st| st.shipped_bytes,
+            ),
+            (
+                "pcp_repl_dropped_records_total",
+                "records evicted by queue overflow (subscriber must resync)",
+                |st| st.dropped_records,
+            ),
+            (
+                "pcp_repl_sync_degraded_total",
+                "semi-sync commits released by timeout instead of ack",
+                |st| st.sync_degraded,
+            ),
+        ];
+        for (i, tap) in self.taps.iter().enumerate() {
+            let labels = vec![("shard".to_string(), i.to_string())];
+            for (name, help, get) in gauges {
+                let tap = Arc::clone(tap);
+                registry.register_fn_gauge(name, help, labels.clone(), move || {
+                    get(&tap.state.lock())
+                });
+            }
+            for (name, help, get) in counters {
+                let tap = Arc::clone(tap);
+                registry.register_fn_counter(name, help, labels.clone(), move || {
+                    get(&tap.state.lock())
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(first: u64, count: u64) -> (u64, u64, Vec<u8>) {
+        (first, first + count - 1, vec![0xAB; 16 * count as usize])
+    }
+
+    #[test]
+    fn tap_queues_and_subscriber_drains_in_order() {
+        let source = ReplSource::new(1, ReplConfig::default());
+        let tap = source.tap(0).unwrap();
+        tap.attach(1);
+        for first in [1, 4, 5] {
+            let (f, l, p) = record(first, if first == 1 { 3 } else { 1 });
+            tap.on_record(f, l, &p);
+        }
+        let mut want = 1;
+        let mut seen = Vec::new();
+        while let NextRecord::Record { first_seq, payload } =
+            source.next_record(0, want, Duration::from_millis(10)).unwrap()
+        {
+            seen.push(first_seq);
+            let count = (payload.len() / 16) as u64;
+            let applied = first_seq + count - 1;
+            source.ack(0, applied);
+            want = applied + 1;
+            if want > 5 {
+                break;
+            }
+        }
+        assert_eq!(seen, vec![1, 4, 5]);
+        assert_eq!(source.acked(0), 5);
+        assert_eq!(source.lag(0), (0, 0));
+    }
+
+    #[test]
+    fn caught_up_subscriber_times_out_pending() {
+        let source = ReplSource::new(1, ReplConfig::default());
+        let tap = source.tap(0).unwrap();
+        tap.attach(7);
+        assert!(matches!(
+            source.next_record(0, 7, Duration::from_millis(5)).unwrap(),
+            NextRecord::Pending
+        ));
+    }
+
+    #[test]
+    fn unacked_record_is_resent_after_reconnect() {
+        let source = ReplSource::new(1, ReplConfig::default());
+        let tap = source.tap(0).unwrap();
+        tap.attach(1);
+        let (f, l, p) = record(1, 2);
+        tap.on_record(f, l, &p);
+        // First delivery, never acked (connection died).
+        assert!(matches!(
+            source.next_record(0, 1, Duration::from_millis(5)).unwrap(),
+            NextRecord::Record { first_seq: 1, .. }
+        ));
+        // Reconnect asks again from the same sequence: same record.
+        assert!(matches!(
+            source.next_record(0, 1, Duration::from_millis(5)).unwrap(),
+            NextRecord::Record { first_seq: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_reports_gap() {
+        let source = ReplSource::new(
+            1,
+            ReplConfig {
+                queue_records: 2,
+                ..ReplConfig::default()
+            },
+        );
+        let tap = source.tap(0).unwrap();
+        tap.attach(1);
+        for first in 1..=4u64 {
+            let (f, l, p) = record(first, 1);
+            tap.on_record(f, l, &p);
+        }
+        // Records 1 and 2 were evicted; asking for 1 is a gap.
+        let err = source
+            .next_record(0, 1, Duration::from_millis(5))
+            .unwrap_err();
+        assert!(err.to_string().contains("replication gap"), "{err}");
+        // The retained window still serves.
+        assert!(matches!(
+            source.next_record(0, 3, Duration::from_millis(5)).unwrap(),
+            NextRecord::Record { first_seq: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn misaligned_sequence_is_rejected() {
+        let source = ReplSource::new(1, ReplConfig::default());
+        let tap = source.tap(0).unwrap();
+        tap.attach(1);
+        let (f, l, p) = record(1, 3);
+        tap.on_record(f, l, &p);
+        let err = source
+            .next_record(0, 2, Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn semi_sync_releases_on_timeout_and_counts_degradation() {
+        let source = ReplSource::new(
+            1,
+            ReplConfig {
+                sync_ack_timeout: Some(Duration::from_millis(5)),
+                ..ReplConfig::default()
+            },
+        );
+        let tap = source.tap(0).unwrap();
+        tap.attach(1);
+        let t0 = Instant::now();
+        let (f, l, p) = record(1, 1);
+        tap.on_record(f, l, &p); // no subscriber: must return via timeout
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        let st = source.taps[0].state.lock();
+        assert_eq!(st.sync_degraded, 1);
+    }
+}

@@ -16,6 +16,9 @@ cargo test -q
 echo "==> cargo test -q -p pcp-shard --test kv_service (TCP service e2e)"
 cargo test -q -p pcp-shard --test kv_service
 
+echo "==> cargo test -q -p pcp-shard --test replication (replication e2e + seeded kill/promote matrix)"
+cargo test -q -p pcp-shard --test replication
+
 echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L5)"
 cargo run -q -p pcp-lint --release
 
