@@ -1,8 +1,20 @@
 //! Blocking client for the KV service.
 //!
-//! One request in flight per connection (the framing is strictly
-//! request/response); open several clients for concurrency — the server
-//! is thread-per-connection, so each client gets its own service thread.
+//! Two usage styles share one connection type:
+//!
+//! * **request/response** ([`KvClient::request`] and the typed helpers):
+//!   one op in flight, transparent reconnect-with-backoff on transient
+//!   connection loss.
+//! * **pipelined** ([`KvClient::send`] / [`KvClient::recv`]): many ops in
+//!   flight on one connection. `send` returns a monotonically increasing
+//!   **token**; `recv` returns `(token, Response)` pairs in token order —
+//!   the wire protocol carries no tags, so responses are positional, and
+//!   the server guarantees per-connection request-order responses in both
+//!   server modes. A server-side [`Response::Err`] inside the window is
+//!   surfaced as a value with its token; it does **not** poison the
+//!   connection or the window. Pipelined traffic is *not* retried on
+//!   connection loss (the client cannot know which of the in-flight ops
+//!   committed); the error surfaces and the window is discarded.
 //!
 //! Transient connection losses (ECONNRESET, EPIPE, a server restart
 //! between requests) are handled inside [`KvClient::request`]: the client
@@ -32,6 +44,11 @@ pub struct KvClient {
     /// Set once reconnection attempts are exhausted; cleared by a
     /// successful [`KvClient::reconnect`].
     latched: Option<String>,
+    /// Next pipelined-send token.
+    next_token: u64,
+    /// Tokens of pipelined requests sent but not yet received, oldest
+    /// first (responses are positional).
+    window: std::collections::VecDeque<u64>,
 }
 
 fn unexpected(resp: Response) -> io::Error {
@@ -75,6 +92,8 @@ impl KvClient {
             stream: Some(stream),
             retry,
             latched: None,
+            next_token: 0,
+            window: std::collections::VecDeque::new(),
         })
     }
 
@@ -86,10 +105,14 @@ impl KvClient {
 
     /// Clears a latched connection error by establishing a fresh
     /// connection. No-op when the connection is already healthy.
+    ///
+    /// Any pipelined window is discarded: its responses died with the old
+    /// connection.
     pub fn reconnect(&mut self) -> io::Result<()> {
         if self.stream.is_none() || self.latched.is_some() {
             self.stream = Some(Self::open(self.addr)?);
             self.latched = None;
+            self.window.clear();
         }
         Ok(())
     }
@@ -132,7 +155,21 @@ impl KvClient {
 
     /// Sends one request and reads its response, transparently
     /// reconnecting on transient connection loss (see module docs).
+    ///
+    /// Errors if a pipelined window is open — drain it with
+    /// [`KvClient::recv`] first, so the positional response pairing stays
+    /// unambiguous.
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        if !self.window.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "pipelined window open ({} responses outstanding); drain with recv() \
+                     before request()",
+                    self.window.len()
+                ),
+            ));
+        }
         if let Some(msg) = self.latched.clone() {
             return Err(self.latched_error(&msg));
         }
@@ -158,6 +195,83 @@ impl KvClient {
             }
         }
     }
+
+    // -- pipelined window ---------------------------------------------------
+
+    /// Sends `req` without waiting for its response, returning a token
+    /// that [`KvClient::recv`] pairs with the response. Many requests may
+    /// be in flight on the one connection; the server answers them in
+    /// send order (both server modes guarantee this).
+    ///
+    /// Unlike [`KvClient::request`], pipelined sends are never retried on
+    /// connection loss: with several ops in flight there is no way to
+    /// know which of them committed. A send error leaves the window
+    /// intact so the caller can account for every outstanding token
+    /// before [`KvClient::reconnect`] discards them.
+    pub fn send(&mut self, req: &Request) -> io::Result<u64> {
+        if let Some(msg) = self.latched.clone() {
+            return Err(self.latched_error(&msg));
+        }
+        if self.stream.is_none() {
+            self.stream = Some(Self::open(self.addr)?);
+        }
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no connection"))?;
+        write_frame(stream, &req.encode())?;
+        stream.flush()?;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.window.push_back(token);
+        Ok(token)
+    }
+
+    /// Receives the next pipelined response, paired with the token of the
+    /// request it answers (oldest outstanding first).
+    ///
+    /// A server-side ERR is returned as `(token, Response::Err(..))` —
+    /// the connection and the rest of the window remain usable, since the
+    /// server keeps serving the connection after an op-level error. Only
+    /// transport-level failures (EOF mid-window, bad frame) are `Err`
+    /// here, and those leave the remaining window undrainable.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        let Some(&token) = self.window.front() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "recv() with no pipelined requests outstanding",
+            ));
+        };
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no connection"))?;
+        let payload = read_frame(stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed with pipelined responses outstanding",
+            )
+        })?;
+        let response = Response::decode(&payload)?;
+        self.window.pop_front();
+        Ok((token, response))
+    }
+
+    /// Receives every outstanding pipelined response, in token order.
+    pub fn recv_all(&mut self) -> io::Result<Vec<(u64, Response)>> {
+        let mut out = Vec::with_capacity(self.window.len());
+        while !self.window.is_empty() {
+            out.push(self.recv()?);
+        }
+        Ok(out)
+    }
+
+    /// Number of pipelined responses outstanding.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    // -- typed request/response helpers -------------------------------------
 
     /// Reads `key`.
     pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {

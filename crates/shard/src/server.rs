@@ -1,12 +1,21 @@
-//! Thread-per-connection TCP front end over a [`ShardedDb`].
+//! TCP front end over a [`ShardedDb`], in one of two server modes:
 //!
-//! Deliberately boring networking: `std::net` blocking sockets, one
-//! thread per connection, a short read timeout so every thread notices
-//! the shutdown flag promptly. The interesting state — memtables, WALs,
-//! compaction pipelines — all lives below, in the sharded engine; the
-//! service layer only frames requests, routes them, and measures them
-//! (per-op latency through [`pcp_workload::LatencyHistogram`], the same
-//! histogram the workload drivers report with).
+//! * [`ServerMode::Blocking`] — deliberately boring networking:
+//!   `std::net` blocking sockets, one thread per connection, a short
+//!   read timeout so every thread notices the shutdown flag promptly.
+//!   The baseline, and the reference semantics.
+//! * [`ServerMode::Reactor`] — the event-driven front end
+//!   ([`crate::reactor`]): one epoll/poll event-loop thread, a fixed
+//!   worker pool, request pipelining, bounded per-connection output
+//!   queues. Same wire protocol, same op semantics (both modes execute
+//!   through the same `ServerShared::handle`), built for thousands of
+//!   connections instead of tens.
+//!
+//! The interesting state — memtables, WALs, compaction pipelines — all
+//! lives below, in the sharded engine; the service layer only frames
+//! requests, routes them, and measures them (per-op latency through
+//! [`pcp_workload::LatencyHistogram`], the same histogram the workload
+//! drivers report with).
 //!
 //! The server owns the process's [`pcp_obs::Registry`]: at startup it
 //! registers its own `pcp_service_*` series plus every shard's
@@ -31,11 +40,33 @@ use std::time::{Duration, Instant};
 
 /// How long a connection thread blocks in `read` before re-checking the
 /// shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Hook a replica supplies to run its side of PROMOTE (stop pullers and
 /// drain them) before the server flips its role to primary.
 pub type PromoteHook = Arc<dyn Fn() -> io::Result<()> + Send + Sync>;
+
+/// Which front end serves request/response traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Thread per connection (the baseline).
+    Blocking,
+    /// Nonblocking event loop + worker pool ([`crate::reactor`]).
+    Reactor,
+}
+
+impl ServerMode {
+    /// Reads the `PCP_SERVER_MODE` environment override (`"reactor"` or
+    /// `"blocking"`), used by CI to run the whole e2e suite against the
+    /// reactor front end without touching the tests.
+    pub fn from_env() -> Option<ServerMode> {
+        match std::env::var("PCP_SERVER_MODE").ok()?.as_str() {
+            "reactor" => Some(ServerMode::Reactor),
+            "blocking" => Some(ServerMode::Blocking),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration for [`KvServer::start_with`].
 #[derive(Default)]
@@ -48,9 +79,15 @@ pub struct ServerOptions {
     /// Called on PROMOTE (and [`KvServer::promote`]) while still in
     /// replica role, before the role flips.
     pub on_promote: Option<PromoteHook>,
+    /// Front end to serve with. `None` falls back to the
+    /// `PCP_SERVER_MODE` environment override, then
+    /// [`ServerMode::Blocking`].
+    pub mode: Option<ServerMode>,
+    /// Reactor tuning, used only in [`ServerMode::Reactor`].
+    pub reactor: crate::reactor::ReactorConfig,
 }
 
-struct ServerShared {
+pub(crate) struct ServerShared {
     db: Arc<ShardedDb>,
     /// Generation counter doubling as the shutdown flag: odd = draining.
     shutdown: std::sync::atomic::AtomicBool,
@@ -71,8 +108,33 @@ struct ServerShared {
 }
 
 impl ServerShared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The server-owned metrics registry (for the reactor's series).
+    pub(crate) fn registry(&self) -> &pcp_obs::Registry {
+        &self.registry
+    }
+
+    /// Counts a request that produced an ERR outside [`Self::handle`]
+    /// (e.g. an undecodable payload answered by the front end).
+    pub(crate) fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.active_conns.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Registers a service-owned thread (subscriber streams handed off by
+    /// the reactor) to be joined on shutdown.
+    pub(crate) fn track_thread(&self, handle: std::thread::JoinHandle<()>) {
+        self.conns.lock().push(handle);
     }
 
     fn role(&self) -> Role {
@@ -113,7 +175,7 @@ impl ServerShared {
         }
     }
 
-    fn handle(&self, req: Request) -> Response {
+    pub(crate) fn handle(&self, req: Request) -> Response {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         if self.role() == Role::Replica
@@ -200,7 +262,11 @@ impl ServerShared {
 pub struct KvServer {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    mode: ServerMode,
+    /// The accept loop (blocking mode) or the reactor event loop.
+    service_thread: Option<std::thread::JoinHandle<()>>,
+    /// Wakes the reactor event loop out of its poll wait (reactor mode).
+    waker: Option<crate::reactor::Waker>,
 }
 
 impl KvServer {
@@ -293,15 +359,41 @@ impl KvServer {
                 move || role_shared.role.load(Ordering::SeqCst) as f64,
             );
         }
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("pcp-kv-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
-        Ok(KvServer {
-            local_addr,
-            shared,
-            accept_thread: Some(accept_thread),
-        })
+        let mode = options
+            .mode
+            .or_else(ServerMode::from_env)
+            .unwrap_or(ServerMode::Blocking);
+        match mode {
+            ServerMode::Blocking => {
+                let accept_shared = Arc::clone(&shared);
+                let accept_thread = std::thread::Builder::new()
+                    .name("pcp-kv-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared))?;
+                Ok(KvServer {
+                    local_addr,
+                    shared,
+                    mode,
+                    service_thread: Some(accept_thread),
+                    waker: None,
+                })
+            }
+            ServerMode::Reactor => {
+                let handle =
+                    crate::reactor::spawn(listener, Arc::clone(&shared), options.reactor)?;
+                Ok(KvServer {
+                    local_addr,
+                    shared,
+                    mode,
+                    service_thread: Some(handle.thread),
+                    waker: Some(handle.waker),
+                })
+            }
+        }
+    }
+
+    /// The front end this server is running ([`ServerMode`]).
+    pub fn mode(&self) -> ServerMode {
+        self.mode
     }
 
     /// The bound address (the actual port when started with port 0).
@@ -348,9 +440,17 @@ impl KvServer {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(t) = self.accept_thread.take() {
+        match &self.waker {
+            // Reactor mode: nudge the event loop out of its poll wait; it
+            // drains in-flight ops and flushes responses before exiting.
+            Some(waker) => waker.wake(),
+            // Blocking mode: unblock the accept loop with a throwaway
+            // connection.
+            None => {
+                let _ = TcpStream::connect(self.local_addr);
+            }
+        }
+        if let Some(t) = self.service_thread.take() {
             let _ = t.join();
         }
         let conns = std::mem::take(&mut *self.shared.conns.lock());
@@ -457,7 +557,7 @@ enum AckWait {
 /// per acknowledged round trip, until the subscriber disconnects or the
 /// server shuts down — in which case the stream is drained with a clean
 /// REPL_END frame rather than a dropped socket.
-fn serve_subscriber(
+pub(crate) fn serve_subscriber(
     mut stream: TcpStream,
     shared: &ServerShared,
     mut buf: Vec<u8>,
@@ -483,7 +583,7 @@ fn serve_subscriber(
     let mut want = from_seq;
     loop {
         if shared.shutting_down() {
-            let _ = write_frame(&mut stream, &Response::ReplEnd.encode());
+            end_subscription(&mut stream);
             return Ok(());
         }
         match source.next_record(shard, want, POLL_INTERVAL) {
@@ -502,7 +602,7 @@ fn serve_subscriber(
                         want = applied_seq + 1;
                     }
                     AckWait::Shutdown => {
-                        let _ = write_frame(&mut stream, &Response::ReplEnd.encode());
+                        end_subscription(&mut stream);
                         return Ok(());
                     }
                     AckWait::Eof => return Ok(()),
@@ -515,6 +615,27 @@ fn serve_subscriber(
                 write_frame(&mut stream, &Response::Err(e.to_string()).encode())?;
                 return Ok(());
             }
+        }
+    }
+}
+
+/// Ends a subscription cleanly: final REPL_END frame, half-close, then a
+/// bounded drain of whatever the subscriber still has in flight (an ack
+/// that lost the race with shutdown sits unread in our receive queue;
+/// closing over it would turn the FIN into an RST and discard the
+/// REPL_END the subscriber is about to read).
+fn end_subscription(stream: &mut TcpStream) {
+    let _ = write_frame(stream, &Response::ReplEnd.encode());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // One read timeout (POLL_INTERVAL, set on every subscriber socket) of
+    // silence means nothing was in flight; a peer FIN ends it sooner.
+    let mut chunk = [0u8; 4 << 10];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer saw REPL_END and closed
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
         }
     }
 }

@@ -62,6 +62,7 @@ fn start_primary(
             role: Some(Role::Primary),
             repl_source: Some(Arc::clone(&source)),
             on_promote: None,
+            ..ServerOptions::default()
         },
     )
     .unwrap();

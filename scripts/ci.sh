@@ -19,6 +19,13 @@ cargo test -q -p pcp-shard --test kv_service
 echo "==> cargo test -q -p pcp-shard --test replication (replication e2e + seeded kill/promote matrix)"
 cargo test -q -p pcp-shard --test replication
 
+echo "==> cargo test -q -p pcp-shard --test reactor_frames --test reactor_service (reactor front end)"
+cargo test -q -p pcp-shard --test reactor_frames --test reactor_service
+
+echo "==> PCP_SERVER_MODE=reactor kv e2e (existing suites against the event-driven front end)"
+PCP_SERVER_MODE=reactor cargo test -q -p pcp-shard --test kv_service
+PCP_SERVER_MODE=reactor cargo test -q -p pcp-shard --test replication
+
 echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L5)"
 cargo run -q -p pcp-lint --release
 
@@ -27,6 +34,9 @@ cargo test -q --features lock_order
 
 echo "==> cargo bench -p pcp-bench --bench write_concurrency (group-commit smoke, quick mode)"
 cargo bench -p pcp-bench --bench write_concurrency
+
+echo "==> cargo bench -p pcp-bench --bench reactor (reactor-vs-blocking smoke, quick mode)"
+cargo bench -p pcp-bench --bench reactor
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
