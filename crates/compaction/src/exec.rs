@@ -11,7 +11,8 @@
 //! decide which merged entries survive (step S4's semantic half).
 
 use crate::filename::table_file;
-use crate::version::FileMetadata;
+use crate::meta::FileMetadata;
+use crate::sched::ResourceGrant;
 use pcp_sstable::key::{parse_internal_key, user_key, SequenceNumber, ValueType};
 use pcp_sstable::{
     KvIter, MergingIter, Result as TableResult, TableBuilder, TableBuilderOptions,
@@ -94,6 +95,10 @@ pub struct CompactionRequest {
     pub table_opts: TableBuilderOptions,
     /// Output tables rotate at this size (paper: 2 MB SSTables).
     pub max_output_bytes: u64,
+    /// The scheduler's resource allowance for this compaction: stage-worker
+    /// tokens and device-bandwidth pacing. [`ResourceGrant::unlimited`]
+    /// when no scheduler is involved.
+    pub grant: ResourceGrant,
 }
 
 impl CompactionRequest {
@@ -120,6 +125,13 @@ pub trait CompactionExec: Send + Sync {
     /// Merges the request's inputs into new tables at the output level and
     /// returns their metadata (in key order).
     fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>>;
+
+    /// Registers any executor-owned series (occupancy gauges, shape-choice
+    /// counters) in `registry`. Stateless executors have nothing to
+    /// publish, so the default is a no-op. Call this once per executor
+    /// instance, not once per database sharing it — the engine-level
+    /// `register_metrics` entry points take care of that.
+    fn register_metrics(&self, _registry: &pcp_obs::Registry) {}
 }
 
 /// Shared output-side helper: writes filtered merged entries into
@@ -317,6 +329,7 @@ mod tests {
             file_numbers: Arc::new(AtomicU64::new(100)),
             table_opts: TableBuilderOptions::default(),
             max_output_bytes: 2 << 20,
+            grant: ResourceGrant::unlimited(),
         };
         let outputs = SimpleMergeExec.compact(&req).unwrap();
         (outputs, env)
@@ -471,6 +484,7 @@ mod tests {
             file_numbers: Arc::new(AtomicU64::new(10)),
             table_opts: TableBuilderOptions::default(),
             max_output_bytes: 64 << 10, // small, to force several outputs
+            grant: ResourceGrant::unlimited(),
         };
         let outputs = SimpleMergeExec.compact(&req).unwrap();
         assert!(outputs.len() > 2, "expected rotation, got {}", outputs.len());

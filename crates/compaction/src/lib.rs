@@ -1,0 +1,35 @@
+//! # pcp-compaction
+//!
+//! The compaction interface shared by the LSM engine (`pcp-lsm`) and the
+//! paper's pipelined executors (`pcp-core`). Extracting it into its own
+//! crate breaks the dependency cycle that would otherwise stop the engine
+//! from *defaulting* to a pipelined executor: `pcp-core` implements
+//! [`CompactionExec`] against this crate, and `pcp-lsm` consumes both.
+//!
+//! Contents:
+//!
+//! * [`CompactionExec`] / [`CompactionRequest`] — the executor contract.
+//!   Every executor must produce **identical output tables** for the same
+//!   input; the integration tests enforce this byte-for-byte.
+//! * [`SimpleMergeExec`] — the entry-at-a-time reference implementation.
+//! * [`VersionKeepFilter`] — LSM version-visibility rules (step S4's
+//!   semantic half).
+//! * [`FileMetadata`] — immutable description of one SSTable.
+//! * [`filename`] — on-disk naming conventions.
+//! * [`sched`] / [`ResourceGrant`] — the resource allowance a scheduler
+//!   attaches to each compaction (stage-worker tokens + device bandwidth),
+//!   honored by the pipelined executors.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod filename;
+pub mod sched;
+
+mod exec;
+mod meta;
+
+pub use exec::{
+    CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
+};
+pub use meta::FileMetadata;
+pub use sched::ResourceGrant;

@@ -1,0 +1,39 @@
+//! SSTable metadata shared between the engine's version structure and the
+//! compaction executors (which produce it for every output table).
+
+use pcp_sstable::key::{user_key, InternalKey};
+
+/// Immutable description of one SSTable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMetadata {
+    /// File number (names the `.sst` file).
+    pub number: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Entry count (from table stats).
+    pub entries: u64,
+    /// Smallest internal key in the table.
+    pub smallest: InternalKey,
+    /// Largest internal key in the table.
+    pub largest: InternalKey,
+}
+
+impl FileMetadata {
+    /// True if this table's user-key range intersects `[lo, hi]`
+    /// (`None` bounds are unbounded).
+    pub fn overlaps_user_range(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> bool {
+        let smallest_user = user_key(&self.smallest);
+        let largest_user = user_key(&self.largest);
+        if let Some(hi) = hi {
+            if smallest_user > hi {
+                return false;
+            }
+        }
+        if let Some(lo) = lo {
+            if largest_user < lo {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,387 @@
+//! Runtime executor selection: pick the pipeline shape per compaction
+//! from the occupancy the previous compaction published.
+//!
+//! The paper fixes the pipeline shape per experiment — plain PCP, C-PPCP
+//! with k compute workers, or S-PPCP with k read lanes — and shows each
+//! wins on a different device/workload point (Fig. 7–9). Pome ("Parallel-
+//! izing I/Os and Computations for Efficient LSM-tree-based Data Storage",
+//! PAPERS.md) argues the shape must be chosen *at runtime*, per
+//! compaction. [`AdaptiveExec`] does exactly that, using the signal the
+//! paper itself proposes: the per-resource **occupancy** of the previous
+//! compaction (the Fig. 5 quantity, published by every executor through
+//! [`CompactionProfile::last_occupancy`]).
+//!
+//! Decision table (see DESIGN.md §15 for the rationale):
+//!
+//! | condition (checked in order)                   | choice          |
+//! |------------------------------------------------|-----------------|
+//! | input < `small_job_bytes`                      | simple merge    |
+//! | no occupancy history yet (first compaction)    | PCP             |
+//! | compute ≥ read, write and ≥ threshold, k > 1   | C-PPCP(k)       |
+//! | read ≥ write and ≥ threshold, k > 1            | S-PPCP(k)       |
+//! | otherwise                                      | PCP             |
+//!
+//! where `k` is the smaller of the scheduler's stage-token grant and
+//! [`AdaptiveConfig::max_workers`]. All shapes share one
+//! [`CompactionProfile`], so the occupancy history is continuous across
+//! shape switches and the selection is a pure function of (occupancy,
+//! input size, grant) — deterministic and unit-testable.
+
+use crate::pipeline::{PipelineConfig, PipelinedExec};
+use crate::profile::{CompactionProfile, Occupancy};
+use pcp_compaction::{CompactionExec, CompactionRequest, FileMetadata, SimpleMergeExec};
+use pcp_obs::TraceLog;
+use pcp_sstable::Result as TableResult;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for [`AdaptiveExec`]. Defaults follow the paper's best
+/// settings (512 KB sub-tasks, Fig. 11a) with thresholds chosen so the
+/// pipeline only widens when a stage is clearly the bottleneck.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Sub-task size handed to the pipelined shapes.
+    pub subtask_bytes: u64,
+    /// Jobs smaller than this skip the pipeline entirely: thread spawn and
+    /// queue setup cost more than they save on a couple of sub-tasks.
+    pub small_job_bytes: u64,
+    /// A stage's occupancy must reach this fraction before the pipeline is
+    /// widened toward it (C-PPCP / S-PPCP instead of plain PCP).
+    pub parallel_threshold: f64,
+    /// Upper bound on parallel-stage workers regardless of the grant
+    /// (defaults to the host's cores — the paper's C-PPCP argument).
+    pub max_workers: usize,
+    /// Bounded-queue capacity between pipeline stages.
+    pub queue_depth: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            subtask_bytes: 512 << 10,
+            small_job_bytes: 4 << 20,
+            parallel_threshold: 0.7,
+            max_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_depth: 4,
+        }
+    }
+}
+
+/// The pipeline shape [`AdaptiveExec::choose`] settled on for one
+/// compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecChoice {
+    /// Entry-at-a-time reference merge — small jobs.
+    Simple,
+    /// Plain 3-stage pipeline (1 read lane, 1 compute worker).
+    Pcp,
+    /// k compute workers with a resequencer — compute-bound inputs.
+    CPpcp(usize),
+    /// k read lanes — read-bound inputs (RAID-style envs).
+    SPpcp(usize),
+}
+
+impl ExecChoice {
+    /// Stable label for metrics and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecChoice::Simple => "simple",
+            ExecChoice::Pcp => "pcp",
+            ExecChoice::CPpcp(_) => "c-ppcp",
+            ExecChoice::SPpcp(_) => "s-ppcp",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            ExecChoice::Simple => 0,
+            ExecChoice::Pcp => 1,
+            ExecChoice::CPpcp(_) => 2,
+            ExecChoice::SPpcp(_) => 3,
+        }
+    }
+}
+
+/// Labels of the four choices, index-aligned with the internal counters
+/// (the order [`AdaptiveExec::choice_counts`] reports).
+pub const CHOICE_LABELS: [&str; 4] = ["simple", "pcp", "c-ppcp", "s-ppcp"];
+
+/// An executor that picks the pipeline shape per compaction from the
+/// previous compaction's occupancy, the input size, and the scheduler's
+/// stage-token grant — the engine's production default.
+///
+/// Output equivalence is unaffected: every shape it delegates to produces
+/// byte-identical tables for identical inputs (the repo-wide executor
+/// invariant), so switching shapes between compactions is invisible to
+/// correctness.
+pub struct AdaptiveExec {
+    cfg: AdaptiveConfig,
+    /// One profile shared by every delegate shape, so occupancy history
+    /// survives shape switches.
+    profile: Arc<CompactionProfile>,
+    trace: Option<Arc<TraceLog>>,
+    /// Per-choice pick counts, indexed like [`CHOICE_LABELS`]. Behind an
+    /// `Arc` so metric-scrape closures can hold them without holding the
+    /// executor itself.
+    choices: Arc<[AtomicU64; 4]>,
+}
+
+impl Default for AdaptiveExec {
+    fn default() -> Self {
+        AdaptiveExec::new(AdaptiveConfig::default())
+    }
+}
+
+impl AdaptiveExec {
+    /// Builds the executor with explicit tuning.
+    pub fn new(cfg: AdaptiveConfig) -> AdaptiveExec {
+        AdaptiveExec {
+            cfg,
+            profile: Arc::new(CompactionProfile::new()),
+            trace: None,
+            choices: Arc::new([
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ]),
+        }
+    }
+
+    /// Attaches a trace log; every compaction emits an `adaptive_choice`
+    /// event (plus the delegate's usual lifecycle events).
+    pub fn with_trace(mut self, trace: Arc<TraceLog>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The shared step profile (all delegate shapes account into it).
+    pub fn profile(&self) -> Arc<CompactionProfile> {
+        Arc::clone(&self.profile)
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// The pure selection function — deterministic in its inputs, used by
+    /// [`AdaptiveExec::compact`] and tested directly. `stage_tokens` is
+    /// the scheduler's grant for this compaction (`usize::MAX` when
+    /// unlimited).
+    pub fn choose(
+        cfg: &AdaptiveConfig,
+        occ: &Occupancy,
+        input_bytes: u64,
+        stage_tokens: usize,
+    ) -> ExecChoice {
+        if input_bytes < cfg.small_job_bytes {
+            return ExecChoice::Simple;
+        }
+        let k = stage_tokens.min(cfg.max_workers).max(1);
+        if occ.wall.is_zero() {
+            // No history yet: start with the paper's baseline pipeline and
+            // let its occupancy steer the next pick.
+            return ExecChoice::Pcp;
+        }
+        if k > 1
+            && occ.compute >= occ.read
+            && occ.compute >= occ.write
+            && occ.compute >= cfg.parallel_threshold
+        {
+            return ExecChoice::CPpcp(k);
+        }
+        if k > 1 && occ.read >= occ.write && occ.read >= cfg.parallel_threshold {
+            return ExecChoice::SPpcp(k);
+        }
+        ExecChoice::Pcp
+    }
+
+    /// How often each shape has been picked, index-aligned with
+    /// [`CHOICE_LABELS`].
+    pub fn choice_counts(&self) -> [u64; 4] {
+        [
+            self.choices[0].load(Ordering::Relaxed),
+            self.choices[1].load(Ordering::Relaxed),
+            self.choices[2].load(Ordering::Relaxed),
+            self.choices[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Registers the shared profile (as `exec="adaptive"`) plus the
+    /// `pcp_sched_executor_choice_total{choice=...}` counters. Also
+    /// reachable through [`CompactionExec::register_metrics`] on the trait
+    /// object, which is how engine-level code registers an executor it
+    /// only knows as `Arc<dyn CompactionExec>`.
+    pub fn register_metrics(&self, registry: &pcp_obs::Registry) {
+        self.profile.register_metrics(registry, "adaptive");
+        for (idx, label) in CHOICE_LABELS.iter().enumerate() {
+            let counts = Arc::clone(&self.choices);
+            registry.register_fn_counter(
+                "pcp_sched_executor_choice_total",
+                "compactions per pipeline shape picked by the adaptive executor",
+                vec![("choice".to_string(), label.to_string())],
+                move || counts[idx].load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// Builds the delegate pipeline for one compaction, sharing this
+    /// executor's profile and trace.
+    fn pipelined(&self, read_workers: usize, compute_workers: usize) -> PipelinedExec {
+        let exec = PipelinedExec::new(PipelineConfig {
+            subtask_bytes: self.cfg.subtask_bytes,
+            compute_workers,
+            read_workers,
+            queue_depth: self.cfg.queue_depth,
+            deep_compute: false,
+        })
+        .with_profile(Arc::clone(&self.profile));
+        match &self.trace {
+            Some(t) => exec.with_trace(Arc::clone(t)),
+            None => exec,
+        }
+    }
+}
+
+impl CompactionExec for AdaptiveExec {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn register_metrics(&self, registry: &pcp_obs::Registry) {
+        AdaptiveExec::register_metrics(self, registry);
+    }
+
+    fn compact(&self, req: &CompactionRequest) -> TableResult<Vec<Arc<FileMetadata>>> {
+        let occ = self.profile.last_occupancy();
+        let tokens = req.grant.stage_tokens();
+        let choice = Self::choose(&self.cfg, &occ, req.input_bytes(), tokens);
+        self.choices[choice.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.record(
+                "adaptive_choice",
+                &[
+                    ("choice", choice.index() as u64), // index into CHOICE_LABELS
+                    ("input_bytes", req.input_bytes()),
+                    (
+                        "stage_tokens",
+                        if tokens == usize::MAX { 0 } else { tokens as u64 },
+                    ),
+                    ("bottleneck_ppm", (occ.bottleneck() * 1e6) as u64),
+                ],
+            );
+        }
+        match choice {
+            ExecChoice::Simple => SimpleMergeExec.compact(req),
+            ExecChoice::Pcp => self.pipelined(1, 1).compact(req),
+            ExecChoice::CPpcp(k) => self.pipelined(1, k).compact(req),
+            ExecChoice::SPpcp(k) => self.pipelined(k, 1).compact(req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn occ(read: f64, compute: f64, write: f64) -> Occupancy {
+        Occupancy {
+            read,
+            compute,
+            write,
+            wall: Duration::from_millis(100),
+        }
+    }
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            small_job_bytes: 4 << 20,
+            parallel_threshold: 0.7,
+            max_workers: 4,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_jobs_take_the_simple_merge() {
+        let c = cfg();
+        let choice = AdaptiveExec::choose(&c, &occ(0.9, 0.9, 0.9), 1 << 20, usize::MAX);
+        assert_eq!(choice, ExecChoice::Simple);
+    }
+
+    #[test]
+    fn first_compaction_defaults_to_pcp() {
+        let c = cfg();
+        let none = Occupancy {
+            read: 0.0,
+            compute: 0.0,
+            write: 0.0,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(
+            AdaptiveExec::choose(&c, &none, 64 << 20, usize::MAX),
+            ExecChoice::Pcp
+        );
+    }
+
+    #[test]
+    fn compute_bound_widens_to_c_ppcp() {
+        let c = cfg();
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.4, 0.95, 0.3), 64 << 20, usize::MAX),
+            ExecChoice::CPpcp(4)
+        );
+    }
+
+    #[test]
+    fn read_bound_widens_to_s_ppcp() {
+        let c = cfg();
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.95, 0.4, 0.3), 64 << 20, usize::MAX),
+            ExecChoice::SPpcp(4)
+        );
+    }
+
+    #[test]
+    fn balanced_or_write_bound_stays_pcp() {
+        let c = cfg();
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.5, 0.5, 0.5), 64 << 20, usize::MAX),
+            ExecChoice::Pcp
+        );
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.3, 0.4, 0.95), 64 << 20, usize::MAX),
+            ExecChoice::Pcp,
+            "a write bottleneck cannot be widened: S7 owns table rotation"
+        );
+    }
+
+    #[test]
+    fn grant_caps_the_worker_count() {
+        let c = cfg();
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.4, 0.95, 0.3), 64 << 20, 2),
+            ExecChoice::CPpcp(2)
+        );
+        // A single token means no parallel stage is possible at all.
+        assert_eq!(
+            AdaptiveExec::choose(&c, &occ(0.4, 0.95, 0.3), 64 << 20, 1),
+            ExecChoice::Pcp
+        );
+    }
+
+    #[test]
+    fn choice_is_deterministic_for_a_fixed_snapshot() {
+        let c = cfg();
+        let snapshot = occ(0.2, 0.85, 0.4);
+        let first = AdaptiveExec::choose(&c, &snapshot, 32 << 20, 3);
+        for _ in 0..100 {
+            assert_eq!(AdaptiveExec::choose(&c, &snapshot, 32 << 20, 3), first);
+        }
+        assert_eq!(first, ExecChoice::CPpcp(3));
+    }
+}

@@ -19,7 +19,7 @@
 //!     Writes stay on one lane and stripe inside the array, matching the
 //!     paper's md-RAID0 setup.
 //!
-//! All executors implement [`pcp_lsm::CompactionExec`] and produce
+//! All executors implement [`pcp_compaction::CompactionExec`] and produce
 //! byte-identical output tables for identical inputs (enforced by the
 //! cross-executor integration tests).
 
@@ -29,8 +29,8 @@ use crate::steps::{
     compute_subtask, read_subtask, ComputeConfig, ComputedSubTask,
 };
 use crossbeam::channel::bounded;
-use pcp_lsm::{CompactionExec, CompactionRequest, FileMetadata};
-use pcp_lsm::filename::table_file;
+use pcp_compaction::{CompactionExec, CompactionRequest, FileMetadata};
+use pcp_compaction::filename::table_file;
 use pcp_obs::TraceLog;
 use pcp_sstable::key::user_key;
 use pcp_sstable::{Result as TableResult, TableBuilder, TableReader};
@@ -107,6 +107,16 @@ fn compute_config(req: &CompactionRequest) -> ComputeConfig {
         smallest_snapshot: req.smallest_snapshot,
         bottom_level: req.bottom_level,
     }
+}
+
+/// Compressed bytes one sub-task read off the device (for bandwidth
+/// pacing against the request's [`pcp_compaction::ResourceGrant`]).
+fn raw_bytes(data: &crate::steps::SubTaskData) -> u64 {
+    data.raw_blocks
+        .iter()
+        .flat_map(|run| run.iter())
+        .map(|b| b.len() as u64)
+        .sum()
 }
 
 fn gather_runs(req: &CompactionRequest) -> TableResult<(Vec<Arc<TableReader>>, Vec<RunBlocks>)> {
@@ -192,6 +202,9 @@ impl<'req> SealedWriter<'req> {
         self.profile.record(Step::Write, t0.elapsed());
         self.profile.add_output_bytes(appended);
         self.profile.add_subtasks(1);
+        // Pace against the scheduler's bandwidth grant *after* accounting,
+        // so the artificial wait is not booked as S7 busy time.
+        self.req.grant.throttle(appended);
         Ok(())
     }
 
@@ -293,6 +306,14 @@ impl ScpExec {
         self
     }
 
+    /// Replaces the step profile with a shared one, so several executors
+    /// (e.g. the shapes inside [`crate::AdaptiveExec`]) account into the
+    /// same occupancy history.
+    pub fn with_profile(mut self, profile: Arc<CompactionProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Shared step profile.
     pub fn profile(&self) -> Arc<CompactionProfile> {
         Arc::clone(&self.profile)
@@ -332,6 +353,7 @@ impl CompactionExec for ScpExec {
                 for st in &plan {
                     // S1 … S7 strictly in order; one resource busy at a time.
                     let data = read_subtask(&readers, st, &self.profile)?;
+                    req.grant.throttle(raw_bytes(&data));
                     let computed = compute_subtask(data, &ccfg, &self.profile)?;
                     writer.write_subtask(computed)?;
                 }
@@ -419,6 +441,14 @@ impl PipelinedExec {
         })
     }
 
+    /// Replaces the step profile with a shared one, so several executors
+    /// (e.g. the shapes inside [`crate::AdaptiveExec`]) account into the
+    /// same occupancy history.
+    pub fn with_profile(mut self, profile: Arc<CompactionProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Shared step profile.
     pub fn profile(&self) -> Arc<CompactionProfile> {
         Arc::clone(&self.profile)
@@ -451,6 +481,10 @@ impl CompactionExec for PipelinedExec {
         if plan.is_empty() {
             return Ok(Vec::new());
         }
+        // The scheduler's grant caps how wide the parallel stages may run
+        // this time; an unlimited grant leaves the configured shape alone.
+        let read_workers = req.grant.clamp_workers(self.cfg.read_workers);
+        let compute_workers = req.grant.clamp_workers(self.cfg.compute_workers);
         if let Some(t) = &self.trace {
             t.record(
                 "compaction_start",
@@ -458,8 +492,8 @@ impl CompactionExec for PipelinedExec {
                     ("exec", 1), // 1 = pipelined (see OBSERVABILITY.md)
                     ("inputs", readers.len() as u64),
                     ("subtasks", plan.len() as u64),
-                    ("read_workers", self.cfg.read_workers as u64),
-                    ("compute_workers", self.cfg.compute_workers as u64),
+                    ("read_workers", read_workers as u64),
+                    ("compute_workers", compute_workers as u64),
                 ],
             );
         }
@@ -476,14 +510,18 @@ impl CompactionExec for PipelinedExec {
         let mut result: TableResult<Vec<Arc<FileMetadata>>> = Ok(Vec::new());
         std::thread::scope(|scope| {
             // Stage read: `read_workers` lanes, sub-tasks round-robin.
-            for lane in 0..self.cfg.read_workers {
+            for lane in 0..read_workers {
                 let read_tx = read_tx.clone();
                 let readers = &readers;
                 let plan = &plan;
-                let lanes = self.cfg.read_workers;
+                let grant = &req.grant;
+                let lanes = read_workers;
                 scope.spawn(move || {
                     for st in plan.iter().filter(|st| st.index % lanes == lane) {
                         let item = read_subtask(readers, st, profile);
+                        if let Ok(data) = &item {
+                            grant.throttle(raw_bytes(data));
+                        }
                         let failed = item.is_err();
                         if read_tx.send(item).is_err() || failed {
                             return;
@@ -543,7 +581,7 @@ impl CompactionExec for PipelinedExec {
             } else {
                 // Stage compute: whole sub-tasks per worker (the paper's
                 // chosen design — d-cache locality, no imbalance).
-                for _ in 0..self.cfg.compute_workers {
+                for _ in 0..compute_workers {
                     let read_rx = read_rx.clone();
                     let comp_tx = comp_tx.clone();
                     let ccfg = &ccfg;
@@ -632,7 +670,7 @@ impl CompactionExec for PipelinedExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcp_lsm::filename::table_file;
+    use pcp_compaction::filename::table_file;
     use pcp_sstable::key::{make_internal_key, ValueType, MAX_SEQUENCE};
     use pcp_sstable::{KvIter, TableBuilderOptions};
     use pcp_storage::{EnvRef, SimDevice, SimEnv};
@@ -694,6 +732,7 @@ mod tests {
             file_numbers: Arc::new(AtomicU64::new(1000)),
             table_opts: TableBuilderOptions::default(),
             max_output_bytes: 256 << 10,
+            grant: pcp_compaction::ResourceGrant::unlimited(),
         }
     }
 

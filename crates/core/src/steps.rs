@@ -19,7 +19,7 @@ use pcp_sstable::table::{
     CompressionKind, BLOCK_TRAILER_SIZE,
 };
 use pcp_sstable::{Block, BlockBuilder, BlockIter, KvIter, MergingIter, TableReader};
-use pcp_lsm::VersionKeepFilter;
+use pcp_compaction::VersionKeepFilter;
 use pcp_sstable::Result as TableResult;
 use std::sync::Arc;
 use std::time::Instant;

@@ -16,7 +16,7 @@
 //!   coupling that makes compaction bandwidth determine system throughput
 //!   (Fig. 10: IOPS vs compaction bandwidth).
 
-use crate::compact::{CompactionExec, CompactionRequest, SimpleMergeExec};
+use crate::compact::{CompactionExec, CompactionRequest, ResourceGrant, SimpleMergeExec};
 use crate::filename::{parse_file_name, table_file, wal_file, FileKind};
 use crate::iter::{DbIter, LevelIter};
 use crate::memtable::Memtable;
@@ -69,7 +69,13 @@ pub struct Options {
     /// Decoded-block cache budget for the read path; 0 disables it (the
     /// paper's direct-I/O semantics — compaction always bypasses it).
     pub block_cache_bytes: usize,
-    /// The compaction algorithm.
+    /// The compaction algorithm. Defaults to the adaptive pipelined
+    /// executor ([`pcp_core::AdaptiveExec`]), which picks PCP / C-PPCP /
+    /// S-PPCP / simple-merge per compaction from the published occupancy
+    /// gauges; the `PCP_EXECUTOR` environment variable overrides the
+    /// default process-wide (see [`Options::default_executor`]), and
+    /// setting this field to [`SimpleMergeExec`] restores the old
+    /// reference behavior explicitly.
     pub executor: Arc<dyn CompactionExec>,
     /// Retry policy for transient I/O failures in the WAL, MANIFEST, and
     /// background flush/compaction paths. Non-transient failures are never
@@ -107,7 +113,7 @@ impl Default for Options {
             sync_writes: false,
             group_commit: true,
             block_cache_bytes: 0,
-            executor: Arc::new(SimpleMergeExec),
+            executor: Options::default_executor(),
             retry: RetryPolicy::default(),
             dir: None,
             compaction_limiter: None,
@@ -117,6 +123,38 @@ impl Default for Options {
 }
 
 impl Options {
+    /// The executor [`Options::default`] installs: the adaptive pipelined
+    /// executor, unless the `PCP_EXECUTOR` environment variable names a
+    /// different one (see [`Options::executor_named`]; unknown names fall
+    /// back to adaptive). The env override exists so whole test suites and
+    /// services can be re-run under a fixed shape without code changes.
+    pub fn default_executor() -> Arc<dyn CompactionExec> {
+        std::env::var("PCP_EXECUTOR")
+            .ok()
+            .and_then(|name| Self::executor_named(&name))
+            .unwrap_or_else(|| Arc::new(pcp_core::AdaptiveExec::default()))
+    }
+
+    /// Builds an executor from its stable name, as accepted by the
+    /// `PCP_EXECUTOR` override: `adaptive`, `simple` (or `simple-merge`),
+    /// `scp`, `pcp`, `c-ppcp`, `s-ppcp`. Parallel shapes size their worker
+    /// count to the host's cores. Returns `None` for unknown names.
+    pub fn executor_named(name: &str) -> Option<Arc<dyn CompactionExec>> {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let subtask = 512 << 10; // the paper's best sub-task size (Fig. 11a)
+        match name {
+            "adaptive" => Some(Arc::new(pcp_core::AdaptiveExec::default())),
+            "simple" | "simple-merge" => Some(Arc::new(SimpleMergeExec)),
+            "scp" => Some(Arc::new(pcp_core::ScpExec::new(subtask))),
+            "pcp" => Some(Arc::new(pcp_core::PipelinedExec::pcp(subtask))),
+            "c-ppcp" => Some(Arc::new(pcp_core::PipelinedExec::c_ppcp(subtask, cores))),
+            "s-ppcp" => Some(Arc::new(pcp_core::PipelinedExec::s_ppcp(subtask, cores))),
+            _ => None,
+        }
+    }
+
     /// Default options rooted at `dir` (see [`Options::dir`]).
     pub fn with_dir(dir: impl Into<std::path::PathBuf>) -> Options {
         Options {
@@ -468,6 +506,9 @@ struct DbInner {
     group_commit_writers: Arc<pcp_obs::Histogram>,
     /// Lifecycle event ring: flushes, compactions, trivial moves, stalls.
     trace: Arc<pcp_obs::TraceLog>,
+    /// This database's slot in [`Options::compaction_limiter`], registered
+    /// at open so the scheduler can weight grants by per-shard debt.
+    sched_slot: Option<usize>,
 }
 
 /// An open database.
@@ -579,6 +620,7 @@ impl Db {
         });
         versions.log_and_apply(edit)?;
 
+        let sched_slot = opts.compaction_limiter.as_ref().map(|l| l.register());
         let inner = Arc::new(DbInner {
             opts,
             env,
@@ -603,6 +645,7 @@ impl Db {
             metrics: Metrics::default(),
             group_commit_writers: Arc::new(pcp_obs::Histogram::new()),
             trace: Arc::new(pcp_obs::TraceLog::new(1024)),
+            sched_slot,
         });
         if tail_corruptions > 0 {
             // A crash tore the tail of one or more logs; replay stopped at
@@ -893,7 +936,9 @@ impl Db {
             inner.check_bg_error(&st)?;
             if let Some(pick) = st.versions.pick_range(level, lo, hi) {
                 st.bg_active = true;
-                let result = inner.run_compaction(&mut st, pick);
+                // Manual compactions bypass the scheduler: the caller asked
+                // for this work explicitly, so it runs unpaced.
+                let result = inner.run_compaction(&mut st, pick, None);
                 st.bg_active = false;
                 inner.done_cv.notify_all();
                 drop(st);
@@ -1053,6 +1098,22 @@ impl Db {
     /// bounded ring (most recent 1024 events).
     pub fn trace(&self) -> &Arc<pcp_obs::TraceLog> {
         &self.inner.trace
+    }
+
+    /// The slot this database registered with its
+    /// [`Options::compaction_limiter`] at open, or `None` when no limiter
+    /// is configured. The sharded engine uses it to read per-shard
+    /// scheduler gauges ([`crate::CompactionLimiter::granted_tokens`] etc.).
+    pub fn scheduler_slot(&self) -> Option<usize> {
+        self.inner.sched_slot
+    }
+
+    /// The compaction executor this database runs. In a sharded engine
+    /// every shard holds a clone of the same `Arc`, so executor-owned
+    /// metrics ([`CompactionExec::register_metrics`]) should be registered
+    /// once per engine, not once per shard.
+    pub fn executor(&self) -> &Arc<dyn CompactionExec> {
+        &self.inner.opts.executor
     }
 
     /// Registers the engine's counters in `registry` under the
@@ -1392,6 +1453,14 @@ impl Drop for Db {
         self.inner.work_cv.notify_all();
         if let Some(handle) = self.bg_thread.take() {
             let _ = handle.join();
+        }
+        // After the background thread is gone no further grants can be
+        // requested, so the scheduler slot can be retired (its debt stops
+        // counting toward other shards' shares).
+        if let (Some(limiter), Some(slot)) =
+            (&self.inner.opts.compaction_limiter, self.inner.sched_slot)
+        {
+            limiter.unregister(slot);
         }
     }
 }
@@ -1761,7 +1830,7 @@ impl DbInner {
             st.bg_active = true;
             // Compactions (never flushes) pass through the shared
             // cross-database admission gate. `bg_active` is set before the
-            // lock is released to queue for a permit, so `compact_range`
+            // lock is released to queue for a grant, so `compact_range`
             // cannot start concurrently; within one `Db` only this thread
             // mutates the version set, so the pick stays valid across the
             // wait.
@@ -1769,30 +1838,40 @@ impl DbInner {
             if !has_flush {
                 if let Some(limiter) = &self.opts.compaction_limiter {
                     let limiter = Arc::clone(limiter);
+                    if let Some(slot) = self.sched_slot {
+                        // Publish this shard's compaction debt (the max
+                        // level score) so the scheduler can weight the
+                        // grant: hot shards borrow pipeline width from
+                        // idle ones.
+                        limiter.set_debt(slot, st.versions.max_score(&self.opts.policy));
+                    }
                     let acquired = MutexGuard::unlocked(&mut st, || {
-                        limiter.acquire(&|| self.shutdown.load(AtomicOrdering::SeqCst))
+                        limiter.acquire_grant(self.sched_slot, &|| {
+                            self.shutdown.load(AtomicOrdering::SeqCst)
+                        })
                     });
                     // While queued: shutdown may have begun, a memtable may
                     // have filled (flushes take priority), or a WAL failure
-                    // may have latched. In each case give the slot back and
+                    // may have latched. In each case give the grant back and
                     // re-evaluate from the top.
-                    if !acquired {
+                    let Some(grant) = acquired else {
                         st.bg_active = false;
                         self.done_cv.notify_all();
                         continue;
-                    }
+                    };
                     if st.imm.is_some() || st.bg_error.is_some() {
-                        limiter.release();
+                        limiter.release_grant(&grant);
                         st.bg_active = false;
                         self.done_cv.notify_all();
                         continue;
                     }
-                    permit = Some(limiter);
+                    permit = Some((limiter, grant));
                 }
             }
-            let result = self.run_with_retry(&mut st, has_flush, pick);
-            if let Some(limiter) = permit {
-                limiter.release();
+            let grant_ref = permit.as_ref().map(|(_, g)| g.clone());
+            let result = self.run_with_retry(&mut st, has_flush, pick, grant_ref);
+            if let Some((limiter, grant)) = permit {
+                limiter.release_grant(&grant);
             }
             if let Err(e) = result {
                 st.bg_error = Some(e.to_string());
@@ -1810,6 +1889,7 @@ impl DbInner {
         st: &mut MutexGuard<'_, State>,
         has_flush: bool,
         pick: Option<CompactionPick>,
+        grant: Option<ResourceGrant>,
     ) -> io::Result<()> {
         let policy = self.opts.retry;
         let mut backoff = policy.base_backoff;
@@ -1819,7 +1899,7 @@ impl DbInner {
             let result = if has_flush {
                 self.run_flush(st)
             } else {
-                self.run_compaction(st, pick.clone().expect("pick present"))
+                self.run_compaction(st, pick.clone().expect("pick present"), grant.clone())
             };
             match result {
                 Ok(()) => return Ok(()),
@@ -1892,6 +1972,7 @@ impl DbInner {
         &self,
         st: &mut MutexGuard<'_, State>,
         pick: CompactionPick,
+        grant: Option<ResourceGrant>,
     ) -> io::Result<()> {
         match pick {
             CompactionPick::TrivialMove { level, file } => {
@@ -1953,6 +2034,7 @@ impl DbInner {
                     file_numbers: st.versions.file_number_counter(),
                     table_opts: self.opts.table_opts(),
                     max_output_bytes: self.opts.sstable_bytes,
+                    grant: grant.unwrap_or_default(),
                 };
                 let executor = Arc::clone(&self.opts.executor);
                 self.trace.record(

@@ -23,10 +23,8 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
-pub mod compact;
 pub mod db;
 pub mod edit;
-pub mod filename;
 pub mod iter;
 pub mod limiter;
 pub mod memtable;
@@ -36,8 +34,15 @@ pub mod version;
 pub mod version_set;
 pub mod wal;
 
-pub use compact::{
-    CompactionExec, CompactionRequest, OutputWriter, SimpleMergeExec, VersionKeepFilter,
+// The compaction interface (executor trait, reference merge, file naming,
+// resource grants) lives in `pcp-compaction` so `pcp-core`'s executors can
+// implement it without a dependency cycle; the old `pcp_lsm::compact` and
+// `pcp_lsm::filename` paths keep working through these re-exports.
+pub use pcp_compaction as compact;
+pub use pcp_compaction::filename;
+pub use pcp_compaction::{
+    CompactionExec, CompactionRequest, OutputWriter, ResourceGrant, SimpleMergeExec,
+    VersionKeepFilter,
 };
 pub use db::{
     BatchOp, Db, DbHealth, IntegrityReport, LevelCompaction, Metrics, MetricsSnapshot, Options,

@@ -18,6 +18,10 @@
 //! clients can connect; without one it runs the scripted demo and exits.
 //! `--reactor`/`--blocking` pick the front end (default: blocking, or
 //! the `PCP_SERVER_MODE` environment override).
+//!
+//! Each shard compacts with the production default, the adaptive PCP
+//! executor (`Options::default()`; override with `PCP_EXECUTOR`), under
+//! the shared cross-shard scheduler — see `DESIGN.md` §15.
 
 use pcp::lsm::Options;
 use pcp::shard::{HashRouter, KvClient, KvServer, ServerMode, ServerOptions, ShardedDb};

@@ -4,6 +4,10 @@
 //! replica is promoted — every write the client saw acknowledged is
 //! still there, and the promoted node immediately accepts new writes.
 //!
+//! Both nodes run the engine's production defaults: the adaptive PCP
+//! executor chooses each compaction's pipeline shape (`DESIGN.md` §15),
+//! and replication ships WAL records independently of compaction.
+//!
 //! ```sh
 //! cargo run --release --example replication
 //! ```

@@ -26,6 +26,10 @@ echo "==> PCP_SERVER_MODE=reactor kv e2e (existing suites against the event-driv
 PCP_SERVER_MODE=reactor cargo test -q -p pcp-shard --test kv_service
 PCP_SERVER_MODE=reactor cargo test -q -p pcp-shard --test replication
 
+echo "==> PCP_EXECUTOR=adaptive engine e2e (full engine suites under the forced adaptive default)"
+PCP_EXECUTOR=adaptive cargo test -q --test adaptive_scheduler --test engine_with_executors --test fault_injection
+PCP_EXECUTOR=adaptive cargo test -q -p pcp-shard
+
 echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L5)"
 cargo run -q -p pcp-lint --release
 
@@ -37,6 +41,9 @@ cargo bench -p pcp-bench --bench write_concurrency
 
 echo "==> cargo bench -p pcp-bench --bench reactor (reactor-vs-blocking smoke, quick mode)"
 cargo bench -p pcp-bench --bench reactor
+
+echo "==> cargo bench -p pcp-bench --bench adaptive (adaptive-vs-fixed-shapes smoke, quick mode)"
+cargo bench -p pcp-bench --bench adaptive
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -12,7 +12,6 @@
 //!
 //! ```
 //! use pcp::lsm::{Db, Options};
-//! use pcp::core::PipelinedExec;
 //! use pcp::storage::{SimDevice, SimEnv};
 //! use std::sync::Arc;
 //!
@@ -20,15 +19,28 @@
 //! // or StdFsEnv for real files).
 //! let env = Arc::new(SimEnv::new(Arc::new(SimDevice::mem(1 << 30))));
 //!
-//! // Paper configuration: pipelined compaction with 512 KB sub-tasks.
+//! // The default executor is the adaptive pipeline: each compaction
+//! // picks SCP / PCP / C-PPCP / S-PPCP from the live occupancy gauges.
+//! let db = Db::open(env, Options::default()).unwrap();
+//! db.put(b"key", b"value").unwrap();
+//! assert_eq!(db.get(b"key").unwrap(), Some(b"value".to_vec()));
+//! ```
+//!
+//! To pin the paper's plain PCP shape instead (512 KB sub-tasks):
+//!
+//! ```
+//! # use pcp::lsm::Options;
+//! # use pcp::core::PipelinedExec;
+//! # use std::sync::Arc;
 //! let opts = Options {
 //!     executor: Arc::new(PipelinedExec::pcp(512 << 10)),
 //!     ..Default::default()
 //! };
-//! let db = Db::open(env, opts).unwrap();
-//! db.put(b"key", b"value").unwrap();
-//! assert_eq!(db.get(b"key").unwrap(), Some(b"value".to_vec()));
 //! ```
+//!
+//! The `PCP_EXECUTOR` environment variable
+//! (`adaptive|simple|scp|pcp|c-ppcp|s-ppcp`) overrides the default
+//! process-wide without code changes.
 //!
 //! ## Crate map
 //!
@@ -37,8 +49,9 @@
 //! | [`codec`] | `pcp-codec` | CRC-32C, LZ block compression, varints (steps S2/S3/S5/S6) |
 //! | [`storage`] | `pcp-storage` | simulated HDD/SSD devices, RAID0, `Env` filesystems (steps S1/S7) |
 //! | [`sstable`] | `pcp-sstable` | block/table formats, bloom filters, merging iterators |
+//! | [`compaction`] | `pcp-compaction` | `CompactionExec` interface, resource grants, the cross-shard scheduler |
 //! | [`lsm`] | `pcp-lsm` | memtable, WAL, versions, leveled compaction, the `Db` |
-//! | [`core`] | `pcp-core` | **the paper's contribution**: sub-task planner, SCP/PCP/C-PPCP/S-PPCP executors, Eq. 1–7, step profiler |
+//! | [`core`] | `pcp-core` | **the paper's contribution**: sub-task planner, SCP/PCP/C-PPCP/S-PPCP executors, the adaptive wrapper, Eq. 1–7, step profiler |
 //! | [`sim`] | `pcp-sim` | discrete-event pipeline simulator |
 //! | [`workload`] | `pcp-workload` | key/value generators and insert drivers |
 //! | [`shard`] | `pcp-shard` | range-sharded multi-DB engine and the TCP KV service |
@@ -48,6 +61,7 @@
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use pcp_codec as codec;
+pub use pcp_compaction as compaction;
 pub use pcp_core as core;
 pub use pcp_lsm as lsm;
 pub use pcp_obs as obs;
@@ -59,7 +73,7 @@ pub use pcp_workload as workload;
 
 /// Convenience prelude for applications.
 pub mod prelude {
-    pub use pcp_core::{PipelineConfig, PipelinedExec, ScpExec};
+    pub use pcp_core::{AdaptiveConfig, AdaptiveExec, PipelineConfig, PipelinedExec, ScpExec};
     pub use pcp_obs::{MetricsSnapshot, Registry, TraceLog};
     pub use pcp_lsm::{CompactionLimiter, CompactionPolicy, Db, DbHealth, Options, WriteBatch};
     pub use pcp_shard::{HashRouter, KvClient, KvServer, RangeRouter, ShardedDb, ShardedHealth};
