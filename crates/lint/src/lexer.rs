@@ -16,6 +16,20 @@ pub struct PreparedSource {
     pub comments: Vec<String>,
     /// True when the line sits inside a `#[cfg(test)]` or `#[test]` item.
     pub in_test: Vec<bool>,
+    /// String-literal contents, keyed by the line the literal *opens* on.
+    /// `col` is the byte offset of the opening quote in that line's code
+    /// view, so rules can pair a literal with the call that precedes it
+    /// (e.g. L8 reading the kind argument of `trace.record("…")`).
+    pub strings: Vec<Vec<StringLit>>,
+}
+
+/// One captured string literal (raw contents, escapes not processed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// Byte offset of the opening quote in the opening line's code view.
+    pub col: usize,
+    /// Literal contents between the delimiters.
+    pub text: String,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -38,12 +52,18 @@ pub fn prepare(source: &str) -> PreparedSource {
     let mut code = String::new();
     let mut comment = String::new();
     let mut state = State::Code;
+    // In-flight string capture: (opening line, opening column, contents).
+    let mut lit: Option<(usize, usize, String)> = None;
+    let mut captured: Vec<(usize, usize, String)> = Vec::new();
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
         if c == '\n' {
             if state == State::LineComment {
                 state = State::Code;
+            }
+            if let Some((_, _, text)) = lit.as_mut() {
+                text.push('\n');
             }
             code_lines.push(std::mem::take(&mut code));
             comment_lines.push(std::mem::take(&mut comment));
@@ -61,6 +81,7 @@ pub fn prepare(source: &str) -> PreparedSource {
                     i += 2;
                 } else if c == '"' {
                     state = string_state(&chars, i);
+                    lit = Some((code_lines.len(), code.len(), String::new()));
                     code.push(' ');
                     i += 1;
                 } else if c == '\'' {
@@ -104,6 +125,14 @@ pub fn prepare(source: &str) -> PreparedSource {
             }
             State::Literal { close, escaped } => {
                 code.push(' ');
+                let closes = !escaped && c != '\\' && c == close;
+                if closes {
+                    if let Some(entry) = lit.take() {
+                        captured.push(entry);
+                    }
+                } else if let Some((_, _, text)) = lit.as_mut() {
+                    text.push(c);
+                }
                 state = if escaped {
                     State::Literal {
                         close,
@@ -114,7 +143,7 @@ pub fn prepare(source: &str) -> PreparedSource {
                         close,
                         escaped: true,
                     }
-                } else if c == close {
+                } else if closes {
                     State::Code
                 } else {
                     state
@@ -127,9 +156,15 @@ pub fn prepare(source: &str) -> PreparedSource {
                     for _ in 0..hashes {
                         code.push(' ');
                     }
+                    if let Some(entry) = lit.take() {
+                        captured.push(entry);
+                    }
                     i += 1 + hashes as usize;
                     state = State::Code;
                 } else {
+                    if let Some((_, _, text)) = lit.as_mut() {
+                        text.push(c);
+                    }
                     i += 1;
                 }
             }
@@ -137,11 +172,19 @@ pub fn prepare(source: &str) -> PreparedSource {
     }
     code_lines.push(code);
     comment_lines.push(comment);
+    if let Some(entry) = lit.take() {
+        captured.push(entry); // unterminated literal at EOF
+    }
     let in_test = mark_test_regions(&code_lines);
+    let mut strings = vec![Vec::new(); code_lines.len()];
+    for (line, col, text) in captured {
+        strings[line].push(StringLit { col, text });
+    }
     PreparedSource {
         code: code_lines,
         comments: comment_lines,
         in_test,
+        strings,
     }
 }
 
@@ -308,6 +351,54 @@ mod tests {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn inner() { x.unwrap(); }\n}\nfn lib2() {}";
         let p = prepare(src);
         assert_eq!(p.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn raw_string_edge_cases() {
+        // A quote inside a hashed raw string does not close it; only
+        // `"` followed by the right number of `#`s does.
+        let p = prepare("let s = r#\"a \" b\"#; after();");
+        assert!(p.code[0].contains("after()"), "code: {}", p.code[0]);
+        assert_eq!(p.strings[0][0].text, "a \" b");
+        // Backslash is not an escape inside raw strings.
+        let p = prepare("let s = r\"back\\slash\"; tail();");
+        assert!(p.code[0].contains("tail()"));
+        assert_eq!(p.strings[0][0].text, "back\\slash");
+        // `"#` with too few hashes stays inside the literal.
+        let p = prepare("let s = r##\"x \"# y\"##; done();");
+        assert!(p.code[0].contains("done()"));
+        assert_eq!(p.strings[0][0].text, "x \"# y");
+    }
+
+    #[test]
+    fn nested_comment_edge_cases() {
+        // Depth tracking: the outer comment only closes at the matching
+        // `*/`, and openers inside strings or line comments are inert.
+        let p = prepare("/* a /* b */ still */ code();\nx(\"/* not a comment\");\n// trailing /* opener\nlive();");
+        assert!(!p.code[0].contains("still"));
+        assert!(p.code[0].contains("code()"));
+        assert_eq!(p.strings[1][0].text, "/* not a comment");
+        assert!(p.code[3].contains("live()"), "line comment must not open a block: {}", p.code[3]);
+        // A `*/` inside a string does not close a surrounding comment…
+        // because the string is *inside* the comment and not lexed at all.
+        let p = prepare("/* \" */ x(); /* ' */ y();");
+        assert!(p.code[0].contains("x()") && p.code[0].contains("y()"));
+    }
+
+    #[test]
+    fn escaped_quotes_and_multiline_strings() {
+        let p = prepare("let s = \"esc \\\" quote\"; fin();");
+        assert!(p.code[0].contains("fin()"));
+        assert_eq!(p.strings[0][0].text, "esc \\\" quote");
+        // `\\` before the close is a literal backslash, not an escape.
+        let p = prepare("let s = \"bs\\\\\"; end();");
+        assert!(p.code[0].contains("end()"));
+        assert_eq!(p.strings[0][0].text, "bs\\\\");
+        // Multi-line string: captured on its opening line, newline kept.
+        let p = prepare("let s = \"one\ntwo\"; post();");
+        assert_eq!(p.strings[0][0].text, "one\ntwo");
+        assert!(p.strings[1].is_empty());
+        assert!(p.code[1].contains("post()"));
     }
 
     #[test]

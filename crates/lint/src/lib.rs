@@ -3,18 +3,29 @@
 //! A from-scratch architectural linter for this workspace (DESIGN.md §11).
 //! It walks every Rust source file, splits code from comments and literals
 //! with a hand-rolled lexer ([`lexer`]), and enforces the repo-specific
-//! invariants L1–L5 ([`rules`]) that `rustc`/clippy cannot know about:
-//! Env-mediated I/O (so `FaultEnv` provably covers it), justified `unsafe`,
-//! panic-free library code, deterministic model code, and self-contained
-//! vendor shims.
+//! invariants L1–L8 that `rustc`/clippy cannot know about:
 //!
-//! Findings print as `file:line: rule: message`; a nonzero exit fails CI.
-//! Suppressions live in `lint.allow` at the repository root — one line per
-//! file/rule pair, each carrying a human justification. Stale or malformed
-//! allowlist entries are themselves findings, so the allowlist cannot rot.
+//! * per-file token rules ([`rules`]): Env-mediated I/O, justified
+//!   `unsafe`, panic-free library code, deterministic model code,
+//!   self-contained vendor shims (L1–L5);
+//! * workspace rules: the guard-scope analysis ([`guards`]) feeds a
+//!   cross-function lock-acquisition graph ([`graph`]) that reports lock
+//!   cycles as potential deadlocks (L6) and blocking operations performed
+//!   while a guard is live (L7);
+//! * contract drift (L8, [`rules::check_contracts`]): metric/trace names
+//!   against OBSERVABILITY.md's canonical name index, wire opcodes against
+//!   DESIGN.md's canonical opcode table.
+//!
+//! Findings print as `file:line: rule: message` (or as JSON with
+//! `--format json`); a nonzero exit fails CI. Suppressions live in
+//! `lint.allow` at the repository root — one line per file/rule pair, each
+//! carrying a human justification. Stale or malformed allowlist entries
+//! are themselves findings, so the allowlist cannot rot.
 //!
 //! Run it with `cargo run -p pcp-lint --release` from the workspace root.
 
+pub mod graph;
+pub mod guards;
 pub mod lexer;
 pub mod rules;
 
@@ -96,14 +107,49 @@ pub fn classify(rel: &str) -> FileClass {
     FileClass::Harness
 }
 
-/// Lints a single source file under its repository-relative path. This is
-/// the entry point the fixture tests use.
+/// Lints a single source file under its repository-relative path — a
+/// one-file workspace, so the guard-scope rules L6/L7 run too (L8 needs
+/// docs; pass them via [`lint_sources`]). This is the entry point the
+/// fixture tests use.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
-    let class = classify(rel);
-    if class == FileClass::VendorManifest {
-        return lint_vendor_manifest(rel, source);
+    lint_sources(&[(rel.to_string(), source.to_string())], None, None).findings
+}
+
+/// Lints a set of sources as one workspace: per-file rules L1–L5, the
+/// cross-function lock rules L6/L7 over all files together, and — when
+/// the docs are provided — the contract-drift rule L8.
+pub fn lint_sources(
+    files: &[(String, String)],
+    obs_md: Option<&str>,
+    design_md: Option<&str>,
+) -> Report {
+    let mut findings = Vec::new();
+    let mut analyses = Vec::new();
+    let mut inventory = rules::ContractInventory::default();
+    for (rel, source) in files {
+        let class = classify(rel);
+        if class == FileClass::VendorManifest {
+            findings.extend(lint_vendor_manifest(rel, source));
+            continue;
+        }
+        let src = lexer::prepare(source);
+        findings.extend(rules::lint_prepared(rel, &src, class));
+        if class == FileClass::Library {
+            rules::collect_contract_names(rel, &src, &mut inventory);
+            analyses.push(guards::analyze_file(rel, &src));
+        }
     }
-    rules::lint_prepared(rel, &lexer::prepare(source), class)
+    let lock_graph = graph::check(&analyses);
+    findings.extend(lock_graph.findings);
+    findings.extend(rules::check_contracts(&inventory, obs_md, design_md));
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Report {
+        findings,
+        files_scanned: files.len(),
+        locks: lock_graph.locks.len(),
+        lock_edges: lock_graph.edges.len(),
+        lock_cycles: lock_graph.cycles.len(),
+    }
 }
 
 /// L5 for manifests: a vendored shim's `Cargo.toml` must not declare
@@ -171,17 +217,107 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned (sources and vendor manifests).
     pub files_scanned: usize,
+    /// Distinct locks in the L6 acquisition graph.
+    pub locks: usize,
+    /// Held→taken edges in the L6 acquisition graph.
+    pub lock_edges: usize,
+    /// Lock cycles found (each one is also an L6 finding).
+    pub lock_cycles: usize,
 }
 
 impl Report {
     /// The CI summary line.
     pub fn summary(&self) -> String {
         format!(
-            "{} files scanned, {} findings",
+            "{} files scanned, {} findings; lock graph: {} locks, {} edges, {} cycles",
             self.files_scanned,
-            self.findings.len()
+            self.findings.len(),
+            self.locks,
+            self.lock_edges,
+            self.lock_cycles
         )
     }
+
+    /// The report as a JSON document (hand-rolled — the linter stays
+    /// dependency-free), for `--format json` and the CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                json_escape(f.rule),
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"lock_graph\": {{\"locks\": {}, \"edges\": {}, \"cycles\": {}}}\n}}\n",
+            self.files_scanned, self.locks, self.lock_edges, self.lock_cycles
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One paragraph of rationale per rule, for `pcp-lint --explain`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "L1" => "L1 — Env-only I/O: engine code must not call std::fs/std::net directly. \
+                 FaultEnv can only inject faults into I/O that flows through the Env \
+                 abstraction, so a direct call is a hole in the fault-injection test net. \
+                 Designated owners (std_env.rs, the TCP service endpoints) are exempted \
+                 in lint.allow with a justification.",
+        "L2" => "L2 — justified unsafe: every `unsafe` block or impl needs a `// SAFETY:` \
+                 comment within five lines above it stating the discharged obligation. \
+                 `unsafe fn`/`unsafe trait` declare a contract and are not flagged.",
+        "L3" => "L3 — panic-free library code: `.unwrap()`, `.expect(…)` and `panic!` \
+                 abort the process; library code must propagate errors. Invariant-backed \
+                 uses are suppressed in lint.allow with the invariant spelled out.",
+        "L4" => "L4 — deterministic model code: the analytical model and the simulator \
+                 compute time, they must not observe it (`Instant::now`/`SystemTime::now` \
+                 would make modeled results vary run to run).",
+        "L5" => "L5 — vendor isolation: vendored shims stand in for crates.io packages; \
+                 depending on workspace crates would invert the dependency direction.",
+        "L6" => "L6 — lock-acquisition cycles: the guard-scope analysis records which \
+                 locks are held at every acquisition, within and across functions (call \
+                 edges by workspace name resolution), and reports cycles in the resulting \
+                 graph as potential deadlocks. The static, exhaustive complement to the \
+                 vendored parking_lot `lock_order` runtime witness: it checks every path, \
+                 not just the interleavings a test happens to execute.",
+        "L7" => "L7 — blocking under a live guard: Env I/O, file sync, channel recv, \
+                 thread::sleep/join, socket accept, and Condvar waits that release a \
+                 *different* lock are flagged while any guard is live. Suspension windows \
+                 (`MutexGuard::unlocked`, a Condvar wait's own lock) are understood — the \
+                 group-commit leader's lock-free WAL write passes clean. Each real finding \
+                 is either restructured out or justified in lint.allow.",
+        "L8" => "L8 — contract drift: every pcp_* metric and trace kind emitted by \
+                 library code must appear in OBSERVABILITY.md's canonical name index and \
+                 vice versa; every wire opcode in proto.rs must match DESIGN.md's \
+                 canonical opcode table byte-for-byte. Docs are the contract dashboards \
+                 and replicas are built against — drift is an incident waiting to happen.",
+        _ => return None,
+    })
 }
 
 /// Directory names never descended into, at any depth.
@@ -222,36 +358,44 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result
 }
 
 /// Scans the repository at `root`, applies `lint.allow`, and returns the
-/// surviving findings plus scan statistics.
+/// surviving findings plus scan statistics. The docs feeding L8 are read
+/// from the root when present; a tree without them skips the contract
+/// checks.
 pub fn lint_repo(root: &Path) -> io::Result<Report> {
     let allow_text = match std::fs::read_to_string(root.join("lint.allow")) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
         Err(e) => return Err(e),
     };
-    let (mut allow, mut findings) = parse_allowlist(&allow_text);
+    let (mut allow, allow_findings) = parse_allowlist(&allow_text);
+    let obs_md = std::fs::read_to_string(root.join("OBSERVABILITY.md")).ok();
+    let design_md = std::fs::read_to_string(root.join("DESIGN.md")).ok();
 
-    let mut files = Vec::new();
-    walk(root, root, &mut files)?;
-    let files_scanned = files.len();
-
-    for (rel, path) in &files {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for (rel, path) in paths {
         let bytes = std::fs::read(path)?;
-        let source = String::from_utf8_lossy(&bytes);
-        for finding in lint_source(rel, &source) {
-            let suppressed = allow.iter_mut().find(|entry| {
-                entry.rule == finding.rule && entry.path == finding.file
-            });
-            match suppressed {
-                Some(entry) => entry.used = true,
-                None => findings.push(finding),
-            }
-        }
+        files.push((rel, String::from_utf8_lossy(&bytes).into_owned()));
     }
 
+    let mut report = lint_sources(&files, obs_md.as_deref(), design_md.as_deref());
+    report.findings.retain(|finding| {
+        let suppressed = allow
+            .iter_mut()
+            .find(|entry| entry.rule == finding.rule && entry.path == finding.file);
+        match suppressed {
+            Some(entry) => {
+                entry.used = true;
+                false
+            }
+            None => true,
+        }
+    });
+    report.findings.extend(allow_findings);
     for entry in &allow {
         if !entry.used {
-            findings.push(Finding::new(
+            report.findings.push(Finding::new(
                 "lint.allow",
                 entry.line,
                 "stale-allow",
@@ -262,10 +406,8 @@ pub fn lint_repo(root: &Path) -> io::Result<Report> {
             ));
         }
     }
-
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(Report {
-        findings,
-        files_scanned,
-    })
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
 }

@@ -1,0 +1,29 @@
+//! L6 clean fixture: the same two locks as `l6_violation.rs`, but every
+//! function acquires them in the one global order alpha -> omega — two
+//! edges in the acquisition graph, no cycle, nothing to report.
+
+use vendor_shim::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    omega: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.omega.lock();
+        *a + *b
+    }
+
+    /// Same order, reached through a different shape: the inner lock is
+    /// taken inside a block while the outer guard is still live.
+    pub fn diff(&self) -> u32 {
+        let a = self.alpha.lock();
+        let inner = {
+            let b = self.omega.lock();
+            *b
+        };
+        *a - inner
+    }
+}

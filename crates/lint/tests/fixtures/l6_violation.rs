@@ -1,0 +1,27 @@
+//! L6 fixture: two functions acquire the same two locks in opposite
+//! orders — a classic two-lock deadlock if they ever race. The finding
+//! anchors on an edge of the cycle; the marker below sits on the
+//! acquisition that closes it.
+
+use vendor_shim::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    omega: Mutex<u32>,
+}
+
+impl Pair {
+    /// Establishes the order alpha -> omega.
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.omega.lock();
+        *a + *b
+    }
+
+    /// Establishes the opposite order omega -> alpha: the cycle.
+    pub fn backward(&self) -> u32 {
+        let b = self.omega.lock();
+        let a = self.alpha.lock(); // LINT:L6
+        *a - *b
+    }
+}

@@ -1,0 +1,40 @@
+//! L7 clean fixture: the same blocking operations as `l7_violation.rs`,
+//! each arranged so no guard is live when they run — the group-commit
+//! shape (`MutexGuard::unlocked`), drop-before-block, and a block-scoped
+//! guard that dies before the sleep.
+
+use vendor_shim::{Mutex, MutexGuard};
+
+pub struct Store {
+    state: Mutex<u32>,
+}
+
+impl Store {
+    /// The group-commit window: the guard is surrendered for exactly the
+    /// extent of the closure, so the sync inside it holds nothing.
+    pub fn commit(&self, wal: &Wal) {
+        let mut g = self.state.lock();
+        *g += 1;
+        MutexGuard::unlocked(&mut g, || {
+            wal.file.sync();
+        });
+        *g += 1;
+    }
+
+    /// Drop first, block after.
+    pub fn snapshot(&self, env: &dyn Env) {
+        let g = self.state.lock();
+        let name = format!("snap-{}", *g);
+        drop(g);
+        let _ = env.create(&name);
+    }
+
+    /// The guard lives in an inner block; the sleep runs outside it.
+    pub fn throttle(&self) {
+        {
+            let mut g = self.state.lock();
+            *g += 1;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,37 @@
+//! L7 fixture: blocking operations while a lock guard is live — Env I/O
+//! under a mutex, a sleep under a guard, and blocking reached through a
+//! call whose callee blocks while entered with the guard held.
+
+use vendor_shim::Mutex;
+
+pub struct Store {
+    state: Mutex<u32>,
+}
+
+impl Store {
+    /// Env I/O with the state guard live: the whole point of the rule.
+    pub fn snapshot(&self, env: &dyn Env) {
+        let g = self.state.lock();
+        let _ = env.create("snapshot.tmp"); // LINT:L7
+        drop(g);
+    }
+
+    /// Sleeping under a guard serializes every other client of the lock.
+    pub fn throttle(&self) {
+        let _g = self.state.lock();
+        thread::sleep(Duration::from_millis(5)); // LINT:L7
+    }
+
+    /// The blocking is one call away: `flush_wal` syncs, and we enter it
+    /// with the guard still live, so the call site is charged.
+    pub fn rotate(&self, wal: &Wal) {
+        let g = self.state.lock();
+        flush_wal(wal); // LINT:L7
+        drop(g);
+    }
+}
+
+/// Blocks on its own (no guard here — clean in isolation).
+pub fn flush_wal(wal: &Wal) {
+    wal.file.sync();
+}

@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use pcp_lint::{classify, lint_repo, lint_source, FileClass};
+use pcp_lint::{classify, lint_repo, lint_source, lint_sources, FileClass};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -46,6 +46,8 @@ fn every_rule_fires_on_its_fixture_and_only_there() {
         ("L3", "l3_violation.rs", "l3_clean.rs", "crates/fake/src/lib.rs"),
         ("L4", "l4_violation.rs", "l4_clean.rs", "crates/sim/src/fake.rs"),
         ("L5", "l5_violation.rs", "l5_clean.rs", "vendor/fake/src/lib.rs"),
+        ("L6", "l6_violation.rs", "l6_clean.rs", "crates/fake/src/lib.rs"),
+        ("L7", "l7_violation.rs", "l7_clean.rs", "crates/fake/src/lib.rs"),
     ];
     for (rule, violation, clean, rel) in cases {
         let src = fixture(violation);
@@ -65,14 +67,83 @@ fn every_rule_fires_on_its_fixture_and_only_there() {
     }
 }
 
+/// L8 needs a workspace view with docs: the violation fixture's rogue
+/// metric, rogue trace kind, and value-mismatched opcode each fire on
+/// their marked lines; the clean fixture matches the same canonical
+/// tables exactly; and a canonical row nothing emits is flagged on the
+/// docs side.
+#[test]
+fn l8_contract_drift_fires_against_docs_and_stays_quiet_when_aligned() {
+    let obs = "# Observability\n\n## Canonical name index\n\n\
+               | name | kind |\n| --- | --- |\n\
+               | `pcp_fixture_ok_total` | counter |\n\
+               | `fixture_done` | trace |\n";
+    let design = "# Design\n\n## Canonical opcode table\n\n\
+                  | opcode | value | role |\n| --- | --- | --- |\n\
+                  | `PING` | `0x01` | request |\n\
+                  | `PONG` | `0x81` | response |\n";
+
+    let src = fixture("l8_violation.rs");
+    let expected = expected_markers(&src, "L8");
+    assert_eq!(expected.len(), 3, "l8_violation.rs should carry 3 markers");
+    let report = lint_sources(
+        &[("crates/fake/src/proto.rs".to_string(), src)],
+        Some(obs),
+        Some(design),
+    );
+    let got: BTreeSet<(usize, String)> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/fake/src/proto.rs")
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    assert_eq!(got, expected, "L8 findings diverge from the markers");
+
+    let clean = fixture("l8_clean.rs");
+    let report = lint_sources(
+        &[("crates/fake/src/proto.rs".to_string(), clean)],
+        Some(obs),
+        Some(design),
+    );
+    assert_eq!(
+        report.findings.len(),
+        0,
+        "l8_clean.rs must lint clean against the same docs: {:?}",
+        report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+
+    // Docs-side drift: a canonical row nothing in code emits.
+    let report = lint_sources(
+        &[("crates/fake/src/proto.rs".to_string(), fixture("l8_clean.rs"))],
+        Some("## Canonical name index\n| name | kind |\n| --- | --- |\n\
+              | `pcp_fixture_ok_total` | counter |\n\
+              | `fixture_done` | trace |\n\
+              | `pcp_fixture_ghost_total` | counter |\n"),
+        Some(design),
+    );
+    let ghosts: Vec<&pcp_lint::Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "OBSERVABILITY.md")
+        .collect();
+    assert_eq!(ghosts.len(), 1, "exactly the ghost row should be flagged");
+    assert!(ghosts[0].message.contains("pcp_fixture_ghost_total"));
+}
+
 /// The same L1/L3/L4 sources are exempt outside the rules' scope: tests
 /// and benches may unwrap and touch the filesystem, non-model code may
-/// read clocks, and the designated Env module owns direct I/O.
+/// read clocks. The former hardcoded L1 exemptions (std_env.rs and the
+/// service edge) are now `lint.allow` entries, so at the engine level
+/// those paths DO fire — suppression happens in `lint_repo`.
 #[test]
 fn scoping_exempts_harness_model_and_designated_files() {
     let l1 = fixture("l1_violation.rs");
     assert_eq!(found("crates/fake/tests/e2e.rs", &l1), BTreeSet::new());
-    assert_eq!(found("crates/storage/src/std_env.rs", &l1), BTreeSet::new());
+    assert_eq!(
+        found("crates/storage/src/std_env.rs", &l1),
+        expected_markers(&l1, "L1"),
+        "std_env.rs is no longer exempted by the engine, only by lint.allow"
+    );
     let l3 = fixture("l3_violation.rs");
     assert_eq!(found("crates/fake/benches/b.rs", &l3), BTreeSet::new());
     let l4 = fixture("l4_violation.rs");
@@ -161,4 +232,13 @@ fn the_repository_itself_is_clean() {
         rendered.join("\n")
     );
     assert!(report.files_scanned > 50, "walker found suspiciously few files");
+    // The L6 graph must actually see the codebase (an empty graph would
+    // mean the analysis silently stopped resolving locks) and stay
+    // cycle-free — deadlock cycles get fixed in code, never allowlisted.
+    assert!(
+        report.locks >= 10,
+        "lock graph covers only {} locks — the guard analysis regressed",
+        report.locks
+    );
+    assert_eq!(report.lock_cycles, 0, "lock-acquisition graph has cycles");
 }

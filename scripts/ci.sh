@@ -30,8 +30,16 @@ echo "==> PCP_EXECUTOR=adaptive engine e2e (full engine suites under the forced 
 PCP_EXECUTOR=adaptive cargo test -q --test adaptive_scheduler --test engine_with_executors --test fault_injection
 PCP_EXECUTOR=adaptive cargo test -q -p pcp-shard
 
-echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L5)"
+echo "==> cargo test -q -p pcp-lint (lint engine: rule fixtures, lexer property test, repo-clean gate)"
+cargo test -q -p pcp-lint
+
+echo "==> cargo run -p pcp-lint --release (architectural lint, L1-L8; JSON report archived)"
+mkdir -p bench_results
+cargo run -q -p pcp-lint --release -- --format json > bench_results/lint_findings.json
+# The JSON lane already failed the build on any finding (nonzero exit);
+# surface the human-readable summary and rule rationales for the log.
 cargo run -q -p pcp-lint --release
+cargo run -q -p pcp-lint --release -- --explain L6 L7 L8 > /dev/null
 
 echo "==> cargo test -q --features lock_order (runtime lock-order witness)"
 cargo test -q --features lock_order
