@@ -1,0 +1,129 @@
+//! Independent compression frames: the unit of *seek in compressed form*.
+//!
+//! A frame is one [`lz`] stream compressed in isolation, so any frame of a
+//! container can be decompressed without touching its neighbours. The block
+//! encoding v2 in `pcp-sstable` compresses each restart interval as one
+//! frame; a seek then decompresses only the frame holding the target
+//! restart point instead of the whole block (bounded
+//! seek-in-compressed-form, after LSM-OPD's search-on-compressed-data).
+//!
+//! This module owns only the per-frame byte contract; the directory that
+//! names frames (lengths, restart indices, first keys) belongs to the
+//! container format above it:
+//!
+//! * A frame that [`lz`] cannot shrink is **stored verbatim**. The encoder
+//!   guarantees a compressed frame is strictly shorter than its input, so
+//!   `stored_len == raw_len` is the unambiguous stored-verbatim signal —
+//!   no per-frame flag byte is spent.
+//! * The decoder is given the expected `raw_len` from the container
+//!   directory and rejects any frame that does not reproduce exactly that
+//!   many bytes, so a corrupt or truncated frame cannot silently yield a
+//!   short (or oversized) restart interval.
+
+use crate::lz::{self, LzError};
+
+/// Compresses `input` as one independent frame, appending to `out`.
+/// Returns the number of bytes appended. When compression would not
+/// shrink the frame it is stored verbatim, which the encoder signals by
+/// the returned length equalling `input.len()` (a compressed frame is
+/// always strictly shorter).
+pub fn compress_frame(input: &[u8], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    lz::compress(input, out);
+    if out.len() - start >= input.len() {
+        out.truncate(start);
+        out.extend_from_slice(input);
+    }
+    out.len() - start
+}
+
+/// Decompresses one frame produced by [`compress_frame`], appending
+/// exactly `raw_len` bytes to `out`. `frame.len() == raw_len` means the
+/// frame was stored verbatim. Any frame that decodes to a different
+/// length — a truncated stream, a corrupted directory entry, or trailing
+/// garbage — is rejected and `out` is left as it was.
+pub fn decompress_frame(frame: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), LzError> {
+    if frame.len() == raw_len {
+        out.extend_from_slice(frame);
+        return Ok(());
+    }
+    let before = out.len();
+    match lz::decompress(frame, out) {
+        Ok(n) if n == raw_len => Ok(()),
+        Ok(_) => {
+            out.truncate(before);
+            Err(LzError::LengthMismatch)
+        }
+        Err(e) => {
+            out.truncate(before);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressible_frame_roundtrips_shorter() {
+        let input: Vec<u8> = b"abcdefgh".repeat(200);
+        let mut frame = Vec::new();
+        let n = compress_frame(&input, &mut frame);
+        assert_eq!(n, frame.len());
+        assert!(frame.len() < input.len());
+        let mut out = Vec::new();
+        decompress_frame(&frame, input.len(), &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn incompressible_frame_is_stored_verbatim() {
+        // A short high-entropy input: LZ has nothing to match.
+        let input: Vec<u8> = (0u16..64).map(|i| (i * 37 % 251) as u8).collect();
+        let mut frame = Vec::new();
+        let n = compress_frame(&input, &mut frame);
+        assert_eq!(n, input.len());
+        assert_eq!(frame, input);
+        let mut out = Vec::new();
+        decompress_frame(&frame, input.len(), &mut out).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let mut frame = Vec::new();
+        assert_eq!(compress_frame(&[], &mut frame), 0);
+        assert!(frame.is_empty());
+        let mut out = Vec::new();
+        decompress_frame(&frame, 0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wrong_raw_len_is_rejected_and_out_untouched() {
+        let input: Vec<u8> = b"xyzw".repeat(100);
+        let mut frame = Vec::new();
+        compress_frame(&input, &mut frame);
+        let mut out = vec![42u8; 3];
+        assert!(decompress_frame(&frame, input.len() + 1, &mut out).is_err());
+        assert_eq!(out, vec![42u8; 3]);
+        assert!(decompress_frame(&frame, input.len() - 1, &mut out).is_err());
+        assert_eq!(out, vec![42u8; 3]);
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let input: Vec<u8> = b"hello world ".repeat(64);
+        let mut frame = Vec::new();
+        let n = compress_frame(&input, &mut frame);
+        assert!(n < input.len());
+        for cut in [1, n / 2, n - 1] {
+            let mut out = Vec::new();
+            assert!(
+                decompress_frame(&frame[..cut], input.len(), &mut out).is_err(),
+                "cut at {cut} must not roundtrip"
+            );
+        }
+    }
+}

@@ -69,6 +69,19 @@ pub struct Options {
     /// Decoded-block cache budget for the read path; 0 disables it (the
     /// paper's direct-I/O semantics — compaction always bypasses it).
     pub block_cache_bytes: usize,
+    /// Write data blocks with encoding v2 (restart-aligned compression
+    /// frames, [`CompressionKind::LzFrames`]): seeks decompress only the
+    /// frame holding the target restart point. Off by default — v1 stays
+    /// the wire default; v1 and v2 tables interoperate freely either way.
+    /// Ignored when `compression` is off.
+    pub framed_blocks: bool,
+    /// Pipelined scan readahead: iterators that detect sequential access
+    /// prefetch, verify and decompress blocks on a background stage (the
+    /// paper's S1‖S3/S4 overlap applied to the read path). Random access
+    /// is unaffected.
+    pub readahead: bool,
+    /// Decoded-block budget of each iterator's readahead window.
+    pub readahead_window_bytes: usize,
     /// The compaction algorithm. Defaults to the adaptive pipelined
     /// executor ([`pcp_core::AdaptiveExec`]), which picks PCP / C-PPCP /
     /// S-PPCP / simple-merge per compaction from the published occupancy
@@ -113,6 +126,9 @@ impl Default for Options {
             sync_writes: false,
             group_commit: true,
             block_cache_bytes: 0,
+            framed_blocks: false,
+            readahead: true,
+            readahead_window_bytes: 1 << 20,
             executor: Options::default_executor(),
             retry: RetryPolicy::default(),
             dir: None,
@@ -181,12 +197,24 @@ impl Options {
         TableBuilderOptions {
             block_size: self.block_bytes,
             restart_interval: 16,
-            compression: if self.compression {
-                CompressionKind::Lz
-            } else {
-                CompressionKind::None
+            compression: match (self.compression, self.framed_blocks) {
+                (false, _) => CompressionKind::None,
+                (true, false) => CompressionKind::Lz,
+                (true, true) => CompressionKind::LzFrames,
             },
             bloom_bits_per_key: self.bloom_bits_per_key,
+        }
+    }
+
+    /// The scan-path context [`Db::open`] hands every table reader.
+    fn scan_context(&self) -> pcp_sstable::ScanContext {
+        pcp_sstable::ScanContext {
+            opts: pcp_sstable::ReadaheadOpts {
+                enabled: self.readahead,
+                window_bytes: self.readahead_window_bytes.max(1),
+                ..Default::default()
+            },
+            stats: Arc::new(pcp_sstable::ScanStats::new()),
         }
     }
 }
@@ -597,9 +625,10 @@ impl Db {
         } else {
             None
         };
-        let cache = Arc::new(TableCache::with_block_cache(
+        let cache = Arc::new(TableCache::with_scan_context(
             Arc::clone(&env),
             block_cache,
+            opts.scan_context(),
         ));
 
         let (mem, flush_edit) = if mem.is_empty() {
@@ -1199,6 +1228,40 @@ impl Db {
             base.clone(),
             Arc::clone(&self.inner.group_commit_writers),
         );
+        {
+            type ScanGetter = fn(&pcp_sstable::ScanStats) -> u64;
+            let scan_counters: [(&str, &str, ScanGetter); 6] = [
+                ("pcp_scan_readahead_spans_total", "span reads issued by scan readahead workers", |s| {
+                    s.spans()
+                }),
+                ("pcp_scan_readahead_blocks_total", "blocks decoded ahead of scan cursors", |s| {
+                    s.blocks_prefetched()
+                }),
+                ("pcp_scan_readahead_hits_total", "block loads served from a prefetch window", |s| {
+                    s.hits()
+                }),
+                ("pcp_scan_readahead_wasted_total", "prefetched blocks never consumed", |s| {
+                    s.wasted()
+                }),
+                ("pcp_scan_frames_decoded_total", "individual v2 block frames decompressed", |s| {
+                    s.frames_decoded()
+                }),
+                ("pcp_scan_sync_blocks_total", "scan blocks loaded synchronously on the caller", |s| {
+                    s.sync_blocks()
+                }),
+            ];
+            for (name, help, get) in scan_counters {
+                let stats = Arc::clone(&self.inner.cache.scan_context().stats);
+                registry.register_fn_counter(name, help, base.clone(), move || get(&stats));
+            }
+            let stats = Arc::clone(&self.inner.cache.scan_context().stats);
+            registry.register_fn_gauge(
+                "pcp_scan_window_bytes",
+                "decoded bytes currently parked in prefetch windows",
+                base.clone(),
+                move || stats.window_bytes() as f64,
+            );
+        }
         if let Some(cache) = self.inner.cache.block_cache() {
             for shard in 0..cache.num_shards() {
                 let with_shard = {

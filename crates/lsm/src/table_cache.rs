@@ -7,7 +7,7 @@
 
 use crate::filename::table_file;
 use parking_lot::Mutex;
-use pcp_sstable::{BlockCache, TableError, TableReader};
+use pcp_sstable::{BlockCache, ScanContext, TableError, TableReader};
 use pcp_storage::EnvRef;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,6 +17,9 @@ pub struct TableCache {
     env: EnvRef,
     opened: Mutex<HashMap<u64, Arc<TableReader>>>,
     block_cache: Option<Arc<BlockCache>>,
+    /// Scan-path knobs and counters shared by every reader this cache
+    /// opens, so `pcp_scan_*` metrics aggregate database-wide.
+    scan: ScanContext,
 }
 
 impl TableCache {
@@ -30,16 +33,31 @@ impl TableCache {
         env: EnvRef,
         block_cache: Option<Arc<BlockCache>>,
     ) -> TableCache {
+        TableCache::with_scan_context(env, block_cache, ScanContext::default())
+    }
+
+    /// Creates a cache whose readers also share scan-path knobs/stats.
+    pub fn with_scan_context(
+        env: EnvRef,
+        block_cache: Option<Arc<BlockCache>>,
+        scan: ScanContext,
+    ) -> TableCache {
         TableCache {
             env,
             opened: Mutex::new(HashMap::new()),
             block_cache,
+            scan,
         }
     }
 
     /// The shared block cache, if enabled.
     pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
         self.block_cache.as_ref()
+    }
+
+    /// The scan context every opened reader shares.
+    pub fn scan_context(&self) -> &ScanContext {
+        &self.scan
     }
 
     /// Returns the (possibly cached) reader for table `number`.
@@ -49,9 +67,10 @@ impl TableCache {
         }
         // Open outside the lock: table opening does real (simulated) I/O.
         let file = self.env.open(&table_file(number))?;
-        let reader = Arc::new(TableReader::open_with_cache(
+        let reader = Arc::new(TableReader::open_with_context(
             file,
             self.block_cache.clone(),
+            self.scan.clone(),
         )?);
         let mut cache = self.opened.lock();
         let entry = cache.entry(number).or_insert_with(|| Arc::clone(&reader));

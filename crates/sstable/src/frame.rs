@@ -1,0 +1,470 @@
+//! Block encoding v2: restart-aligned compression frames.
+//!
+//! Encoding v1 compresses a whole block as one LZ stream, so a point read
+//! pays full-block decompression even when it needs one restart interval.
+//! Encoding v2 (`CompressionKind::LzFrames`) groups the block's restart
+//! intervals into independent [`pcp_codec::frames`] streams behind a
+//! per-block directory, giving *bounded seek-in-compressed-form*: a seek
+//! binary-searches the clear-text frame keys and decompresses only the
+//! frame containing the target restart point.
+//!
+//! Payload layout (what sits under the usual 5-byte block trailer when the
+//! trailer kind is `LzFrames`):
+//!
+//! ```text
+//! varint num_restarts (n)
+//! varint num_frames   (f)
+//! f x { varint first_restart     -- index into the restart array
+//!       varint raw_len           -- decompressed frame length
+//!       varint comp_len          -- stored frame length (== raw_len: verbatim)
+//!       varint key_len  key[]    -- frame's first full key, in the clear }
+//! n x u32le restart offsets      -- v1 offsets into the entry region, verbatim
+//! f concatenated frame streams   -- pcp_codec::frames format
+//! ```
+//!
+//! The restart array is kept verbatim (offsets into the *reassembled*
+//! entry region) so [`FrameBlock::reassemble`] can reproduce the exact v1
+//! block contents byte-for-byte; per-frame decoding rebases the offsets
+//! covered by one frame against the frame's base. Directory parsing is
+//! strict — frame extents must tile the restart array and the stored
+//! streams exactly, so a truncated or corrupted block is rejected up
+//! front rather than mid-scan.
+
+use crate::block::Block;
+use crate::{Result, TableError};
+use bytes::Bytes;
+use std::cmp::Ordering;
+
+/// Target decompressed bytes per frame. One frame then spans a handful of
+/// restart intervals (~4 at the default restart interval of 16 and ~16-byte
+/// entries): large enough to amortise per-frame LZ overhead, small enough
+/// that a seek decompresses ~1/4 of a 4 KiB block.
+pub const DEFAULT_FRAME_TARGET: usize = 1024;
+
+#[derive(Debug, Clone)]
+struct FrameInfo {
+    /// Index range of restart-array slots covered by this frame.
+    restart_start: usize,
+    restart_end: usize,
+    /// Byte offset of the frame's first entry in the reassembled region.
+    raw_off: usize,
+    raw_len: usize,
+    /// Stored stream extent within the payload.
+    comp_off: usize,
+    comp_len: usize,
+    /// Extent of the clear-text first key within the payload.
+    key_off: usize,
+    key_len: usize,
+}
+
+/// A parsed (but not decompressed) v2 block payload.
+#[derive(Debug, Clone)]
+pub struct FrameBlock {
+    payload: Bytes,
+    num_restarts: usize,
+    /// Offset of the verbatim restart array within the payload.
+    restarts_pos: usize,
+    frames: Vec<FrameInfo>,
+    total_raw: usize,
+}
+
+fn corrupt(what: &str) -> TableError {
+    TableError::Corruption(format!("framed block: {what}"))
+}
+
+fn take_varint(payload: &[u8], pos: &mut usize) -> Result<usize> {
+    let (v, n) =
+        pcp_codec::decode_u64(&payload[*pos..]).map_err(|_| corrupt("directory varint"))?;
+    *pos += n;
+    usize::try_from(v).map_err(|_| corrupt("directory varint overflows usize"))
+}
+
+impl FrameBlock {
+    /// Parses and strictly validates a v2 payload (trailer already
+    /// stripped and checksum-verified by the caller).
+    pub fn parse(payload: Bytes) -> Result<FrameBlock> {
+        let mut pos = 0usize;
+        let num_restarts = take_varint(&payload, &mut pos)?;
+        let num_frames = take_varint(&payload, &mut pos)?;
+        if num_restarts == 0 || num_frames == 0 || num_frames > num_restarts {
+            return Err(corrupt("bad restart/frame counts"));
+        }
+        let mut frames = Vec::with_capacity(num_frames);
+        let mut prev_first: Option<usize> = None;
+        let mut raw_off = 0usize;
+        for _ in 0..num_frames {
+            let first_restart = take_varint(&payload, &mut pos)?;
+            let raw_len = take_varint(&payload, &mut pos)?;
+            let comp_len = take_varint(&payload, &mut pos)?;
+            let key_len = take_varint(&payload, &mut pos)?;
+            // Frame 0 must start at restart 0; later frames may span any
+            // number of restart intervals but must move strictly forward.
+            let contiguous = match prev_first {
+                None => first_restart == 0,
+                Some(p) => first_restart > p,
+            };
+            if !contiguous || first_restart >= num_restarts {
+                return Err(corrupt("frame restart coverage not contiguous"));
+            }
+            if raw_len == 0 || comp_len == 0 || comp_len > raw_len {
+                return Err(corrupt("bad frame lengths"));
+            }
+            let key_off = pos;
+            pos = pos.checked_add(key_len).ok_or_else(|| corrupt("key extent"))?;
+            if pos > payload.len() {
+                return Err(corrupt("first key overruns payload"));
+            }
+            frames.push(FrameInfo {
+                restart_start: first_restart,
+                restart_end: 0, // fixed up below
+                raw_off,
+                raw_len,
+                comp_off: 0, // fixed up below
+                comp_len,
+                key_off,
+                key_len,
+            });
+            raw_off = raw_off.checked_add(raw_len).ok_or_else(|| corrupt("raw extent"))?;
+            prev_first = Some(first_restart);
+        }
+        let total_raw = raw_off;
+        let restarts_pos = pos;
+        pos = pos
+            .checked_add(num_restarts.checked_mul(4).ok_or_else(|| corrupt("restart extent"))?)
+            .ok_or_else(|| corrupt("restart extent"))?;
+        if pos > payload.len() {
+            return Err(corrupt("restart array overruns payload"));
+        }
+        // Fix up comp offsets and restart index ranges; every stored byte
+        // after the restart array must belong to exactly one frame.
+        for i in 0..frames.len() {
+            frames[i].comp_off = pos;
+            pos = pos
+                .checked_add(frames[i].comp_len)
+                .ok_or_else(|| corrupt("frame stream extent"))?;
+            frames[i].restart_end = if i + 1 < frames.len() {
+                frames[i + 1].restart_start
+            } else {
+                num_restarts
+            };
+        }
+        if pos != payload.len() {
+            return Err(corrupt("frame streams do not tile the payload"));
+        }
+        let fb = FrameBlock {
+            payload,
+            num_restarts,
+            restarts_pos,
+            frames,
+            total_raw,
+        };
+        // Restart offsets must be strictly increasing within the raw
+        // region, and each frame must begin exactly at its first restart.
+        let mut prev = None;
+        for j in 0..num_restarts {
+            let r = fb.restart(j)?;
+            if r >= fb.total_raw || prev.is_some_and(|p| r <= p) {
+                return Err(corrupt("restart offsets not strictly increasing"));
+            }
+            prev = Some(r);
+        }
+        for info in &fb.frames {
+            if fb.restart(info.restart_start)? != info.raw_off {
+                return Err(corrupt("frame base disagrees with restart array"));
+            }
+            if info.restart_start >= info.restart_end {
+                return Err(corrupt("frame covers no restarts"));
+            }
+        }
+        Ok(fb)
+    }
+
+    fn restart(&self, j: usize) -> Result<usize> {
+        pcp_codec::read_u32_le(&self.payload, self.restarts_pos + j * 4)
+            .map(|v| v as usize)
+            .ok_or_else(|| corrupt("restart array read out of bounds"))
+    }
+
+    /// Number of frames in the block.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total decompressed entry-region length.
+    pub fn raw_len(&self) -> usize {
+        self.total_raw
+    }
+
+    /// The clear-text first full key of frame `i`.
+    pub fn first_key(&self, i: usize) -> &[u8] {
+        let info = &self.frames[i];
+        &self.payload[info.key_off..info.key_off + info.key_len]
+    }
+
+    /// Index of the last frame whose first key is `<= target` under `cmp`
+    /// (clamped to frame 0), i.e. the only frame that can contain the
+    /// first entry `>= target`.
+    pub fn find_frame(&self, target: &[u8], cmp: fn(&[u8], &[u8]) -> Ordering) -> usize {
+        let (mut lo, mut hi) = (0usize, self.frames.len() - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if cmp(self.first_key(mid), target) == Ordering::Greater {
+                hi = mid - 1;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// Decompresses exactly frame `i` into a self-contained [`Block`]
+    /// (the frame's restart offsets, rebased to the frame).
+    pub fn decode_frame(&self, i: usize) -> Result<Block> {
+        let info = self.frames.get(i).ok_or_else(|| corrupt("frame index out of range"))?;
+        let nr = info.restart_end - info.restart_start;
+        let mut buf = Vec::with_capacity(info.raw_len + 4 * nr + 4);
+        let stream = &self.payload[info.comp_off..info.comp_off + info.comp_len];
+        pcp_codec::decompress_frame(stream, info.raw_len, &mut buf)
+            .map_err(|e| corrupt(&format!("frame {i} stream: {e}")))?;
+        for j in info.restart_start..info.restart_end {
+            let r = self.restart(j)?;
+            let rebased = r
+                .checked_sub(info.raw_off)
+                .filter(|&v| v < info.raw_len)
+                .ok_or_else(|| corrupt("restart offset outside its frame"))?;
+            buf.extend_from_slice(&(rebased as u32).to_le_bytes());
+        }
+        buf.extend_from_slice(&(nr as u32).to_le_bytes());
+        Block::new(Bytes::from(buf))
+    }
+
+    /// Reassembles the exact v1 block contents (entry region + verbatim
+    /// restart array + count), byte-identical to what encoding v1 would
+    /// have stored — so caches and compaction see one canonical form.
+    pub fn reassemble(&self) -> Result<Vec<u8>> {
+        let mut buf = Vec::with_capacity(self.total_raw + 4 * self.num_restarts + 4);
+        for (i, info) in self.frames.iter().enumerate() {
+            let stream = &self.payload[info.comp_off..info.comp_off + info.comp_len];
+            pcp_codec::decompress_frame(stream, info.raw_len, &mut buf)
+                .map_err(|e| corrupt(&format!("frame {i} stream: {e}")))?;
+        }
+        buf.extend_from_slice(
+            &self.payload[self.restarts_pos..self.restarts_pos + 4 * self.num_restarts],
+        );
+        buf.extend_from_slice(&(self.num_restarts as u32).to_le_bytes());
+        Ok(buf)
+    }
+}
+
+/// Re-encodes v1 block `contents` (entry region + restart array + count)
+/// as a v2 framed payload, grouping restart intervals into frames of at
+/// least `target_frame_bytes` decompressed bytes. Returns `None` when the
+/// contents are malformed or the framed payload would not be smaller than
+/// the plain contents — the caller then falls back to another encoding.
+pub fn compress_framed(contents: &[u8], target_frame_bytes: usize) -> Option<Vec<u8>> {
+    let target = target_frame_bytes.max(1);
+    if contents.len() < 4 {
+        return None;
+    }
+    let n = pcp_codec::read_u32_le(contents, contents.len() - 4)? as usize;
+    let entries_end = contents.len().checked_sub(4 + n.checked_mul(4)?)?;
+    if n == 0 || entries_end == 0 {
+        return None;
+    }
+    let entries = &contents[..entries_end];
+    let mut restarts = Vec::with_capacity(n);
+    for j in 0..n {
+        let r = pcp_codec::read_u32_le(contents, entries_end + 4 * j)? as usize;
+        if r >= entries_end || restarts.last().is_some_and(|&p| r <= p) {
+            return None;
+        }
+        restarts.push(r);
+    }
+    if restarts[0] != 0 {
+        return None;
+    }
+
+    // Greedily group restart intervals until each frame reaches the target.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // restart index range
+    let mut start = 0usize;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && restarts[end] - restarts[start] < target {
+            end += 1;
+        }
+        groups.push((start, end));
+        start = end;
+    }
+
+    // Compress each frame and capture its clear-text first key.
+    let mut dir = Vec::new();
+    let mut data = Vec::new();
+    for &(s, e) in &groups {
+        let raw_off = restarts[s];
+        let raw_end = if e < n { restarts[e] } else { entries_end };
+        let raw = &entries[raw_off..raw_end];
+        let key = first_key_at(entries, raw_off)?;
+        let comp_off = data.len();
+        let comp_len = pcp_codec::compress_frame(raw, &mut data);
+        debug_assert_eq!(comp_len, data.len() - comp_off);
+        pcp_codec::put_u64(&mut dir, s as u64);
+        pcp_codec::put_u64(&mut dir, raw.len() as u64);
+        pcp_codec::put_u64(&mut dir, comp_len as u64);
+        pcp_codec::put_u64(&mut dir, key.len() as u64);
+        dir.extend_from_slice(key);
+    }
+
+    let mut out = Vec::with_capacity(dir.len() + 4 * n + 8 + data.len());
+    pcp_codec::put_u64(&mut out, n as u64);
+    pcp_codec::put_u64(&mut out, groups.len() as u64);
+    out.extend_from_slice(&dir);
+    out.extend_from_slice(&contents[entries_end..contents.len() - 4]);
+    out.extend_from_slice(&data);
+    if out.len() < contents.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Parses the full key of the restart-point entry at `off` (where
+/// `shared == 0` by construction, so the delta *is* the key).
+fn first_key_at(entries: &[u8], off: usize) -> Option<&[u8]> {
+    let mut pos = off;
+    let (shared, n1) = pcp_codec::decode_u32(entries.get(pos..)?).ok()?;
+    if shared != 0 {
+        return None;
+    }
+    pos += n1;
+    let (non_shared, n2) = pcp_codec::decode_u32(entries.get(pos..)?).ok()?;
+    pos += n2;
+    let (_vlen, n3) = pcp_codec::decode_u32(entries.get(pos..)?).ok()?;
+    pos += n3;
+    entries.get(pos..pos + non_shared as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+
+    fn build_contents(count: usize, restart_interval: usize) -> Vec<u8> {
+        let mut b = BlockBuilder::new(restart_interval);
+        for i in 0..count {
+            b.add(
+                format!("key{i:05}").as_bytes(),
+                format!("value-{i}-{}", "pad".repeat(i % 7)).as_bytes(),
+            );
+        }
+        b.finish()
+    }
+
+    fn scan_block(block: &Block) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut it = block.iter(Ord::cmp);
+        let mut out = Vec::new();
+        it.seek_to_first();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn reassemble_is_byte_identical() {
+        let contents = build_contents(300, 16);
+        let payload = compress_framed(&contents, 256).expect("should shrink");
+        assert!(payload.len() < contents.len());
+        let fb = FrameBlock::parse(Bytes::from(payload)).unwrap();
+        assert!(fb.frame_count() > 1, "expected multiple frames");
+        assert_eq!(fb.reassemble().unwrap(), contents);
+    }
+
+    #[test]
+    fn per_frame_decode_covers_all_entries() {
+        let contents = build_contents(300, 16);
+        let want = scan_block(&Block::new(Bytes::from(contents.clone())).unwrap());
+        let payload = compress_framed(&contents, 256).unwrap();
+        let fb = FrameBlock::parse(Bytes::from(payload)).unwrap();
+        let mut got = Vec::new();
+        for i in 0..fb.frame_count() {
+            got.extend(scan_block(&fb.decode_frame(i).unwrap()));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn find_frame_locates_every_key() {
+        let contents = build_contents(300, 16);
+        let payload = compress_framed(&contents, 256).unwrap();
+        let fb = FrameBlock::parse(Bytes::from(payload)).unwrap();
+        for i in 0..300 {
+            let key = format!("key{i:05}");
+            let f = fb.find_frame(key.as_bytes(), Ord::cmp);
+            let block = fb.decode_frame(f).unwrap();
+            let mut it = block.iter(Ord::cmp);
+            it.seek(key.as_bytes());
+            assert!(it.valid(), "{key} must be in frame {f}");
+            assert_eq!(it.key(), key.as_bytes());
+        }
+        // A key before the first entry clamps to frame 0.
+        assert_eq!(fb.find_frame(b"aaa", Ord::cmp), 0);
+        // A key past the end lands in the last frame.
+        assert_eq!(fb.find_frame(b"zzz", Ord::cmp), fb.frame_count() - 1);
+    }
+
+    #[test]
+    fn single_restart_block_frames_or_declines() {
+        let contents = build_contents(3, 16);
+        // Tiny blocks usually can't shrink; either outcome must be sound.
+        if let Some(payload) = compress_framed(&contents, 1024) {
+            let fb = FrameBlock::parse(Bytes::from(payload)).unwrap();
+            assert_eq!(fb.reassemble().unwrap(), contents);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let contents = build_contents(300, 16);
+        let payload = compress_framed(&contents, 256).unwrap();
+        for cut in [1, payload.len() / 3, payload.len() - 1] {
+            assert!(
+                FrameBlock::parse(Bytes::copy_from_slice(&payload[..cut])).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage must be rejected too (streams must tile exactly).
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert!(FrameBlock::parse(Bytes::from(extended)).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_never_silently_roundtrips() {
+        // Bit flips inside a stream may still decode (a damaged literal
+        // byte is a valid stream) — end-to-end integrity is the block
+        // CRC's job. What the frame layer must guarantee is that
+        // corruption is never *silently absorbed*: the result either
+        // errors or differs from the original contents.
+        let contents = build_contents(300, 16);
+        let payload = compress_framed(&contents, 256).unwrap();
+        for pos in [payload.len() - 1, payload.len() / 2, payload.len() * 3 / 4] {
+            let mut damaged = payload.clone();
+            damaged[pos] ^= 0xFF;
+            let Ok(fb) = FrameBlock::parse(Bytes::from(damaged)) else {
+                continue;
+            };
+            if let Ok(bytes) = fb.reassemble() {
+                assert_ne!(bytes, contents, "flip at {pos} silently absorbed");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_v1_contents_decline() {
+        assert!(compress_framed(&[], 1024).is_none());
+        assert!(compress_framed(&[0, 0, 0, 0], 1024).is_none());
+        // Claimed restart count overruns the data.
+        assert!(compress_framed(&[1, 2, 3, 0xFF, 0xFF, 0, 0], 1024).is_none());
+    }
+}

@@ -15,6 +15,11 @@
 //! * [`key`] — internal keys: user key + (sequence, type) trailer, ordered
 //!   user-key-ascending then sequence-descending.
 //! * [`block`] — block builder/reader with restart-point prefix compression.
+//! * [`frame`] — block encoding v2: restart-aligned compression frames for
+//!   bounded seek-in-compressed-form.
+//! * [`readahead`] — the pipelined scan readahead stage (sequential-access
+//!   detection, bounded prefetch window, span reads off the iterator
+//!   thread).
 //! * [`bloom`] — per-table bloom filter.
 //! * [`table`] — [`TableBuilder`] / [`TableReader`] with both entry-level
 //!   APIs (flush path) and raw-block APIs (compaction pipeline path).
@@ -24,13 +29,17 @@
 pub mod block;
 pub mod bloom;
 pub mod cache;
+pub mod frame;
 pub mod iter;
 pub mod key;
+pub mod readahead;
 pub mod table;
 
 pub use block::{Block, BlockBuilder, BlockIter};
 pub use bloom::BloomFilter;
 pub use cache::BlockCache;
+pub use frame::{compress_framed, FrameBlock, DEFAULT_FRAME_TARGET};
+pub use readahead::{ReadaheadOpts, ScanContext, ScanStats};
 pub use iter::{KvIter, MergingIter, VecIter};
 pub use key::{
     append_internal_key, internal_key_cmp, parse_internal_key, InternalKey, ParsedKey,

@@ -32,11 +32,31 @@ pub trait WritableFile: Send {
     }
 }
 
+/// Scheduling class of a positional read. Storage models use it to
+/// account speculative scan readahead separately from reads a caller is
+/// blocked on; the service model itself is unchanged (the device is still
+/// occupied for the same time either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadClass {
+    /// A read on the caller's critical path (point get, sync block load).
+    #[default]
+    Foreground,
+    /// A speculative read issued by the scan readahead stage.
+    Readahead,
+}
+
 /// A positional-read file handle (immutable SSTables, recovery-time logs).
 pub trait RandomReadFile: Send + Sync {
     /// Reads `len` bytes at `offset`. Short reads at end-of-file return
     /// only the available bytes.
     fn read_at(&self, offset: u64, len: usize) -> io::Result<Bytes>;
+
+    /// Like [`read_at`](RandomReadFile::read_at) with a scheduling-class
+    /// hint. The default implementation ignores the hint; storage models
+    /// override it to tally readahead I/O.
+    fn read_at_class(&self, offset: u64, len: usize, _class: ReadClass) -> io::Result<Bytes> {
+        self.read_at(offset, len)
+    }
 
     /// File length in bytes.
     fn len(&self) -> u64;

@@ -37,7 +37,7 @@ pub mod std_env;
 pub mod trace;
 
 pub use device::{BlockDevice, SimDevice};
-pub use env::{Env, RandomReadFile, WritableFile};
+pub use env::{Env, RandomReadFile, ReadClass, WritableFile};
 pub use fault_env::{FaultEnv, FaultKind, FaultOp, FaultStats};
 pub use retry::{is_transient, with_retry, RetryPolicy};
 pub use model::{HddModel, IoKind, LatencyModel, NullModel, SsdModel};

@@ -12,7 +12,7 @@
 //! step-S7 I/O.
 
 use crate::alloc::{Extent, ExtentAllocator};
-use crate::env::{Env, RandomReadFile, WritableFile};
+use crate::env::{Env, RandomReadFile, ReadClass, WritableFile};
 use crate::DeviceRef;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -206,6 +206,14 @@ impl RandomReadFile for SimReadable {
             out.extend_from_slice(&self.device.read_at(dev_off, n)?);
         }
         Ok(Bytes::from(out))
+    }
+
+    fn read_at_class(&self, offset: u64, len: usize, class: ReadClass) -> io::Result<Bytes> {
+        let data = self.read_at(offset, len)?;
+        if class == ReadClass::Readahead {
+            self.device.stats().record_readahead(data.len() as u64);
+        }
+        Ok(data)
     }
 
     fn len(&self) -> u64 {

@@ -22,6 +22,10 @@ pub struct DeviceStats {
     busy_nanos: AtomicU64,
     /// Modeled seek/access overhead within `busy_nanos`, nanoseconds.
     seek_nanos: AtomicU64,
+    /// Subset of `read_ops`/`read_bytes` issued by the scan readahead
+    /// stage (off the caller's critical path).
+    readahead_ops: AtomicU64,
+    readahead_bytes: AtomicU64,
     /// Per-op modeled service-time distribution, reads (nanoseconds).
     read_latency: Arc<Histogram>,
     /// Per-op modeled service-time distribution, writes (nanoseconds).
@@ -50,9 +54,25 @@ impl DeviceStats {
         self.write_latency.record_duration(busy);
     }
 
+    /// Tags one already-recorded read of `bytes` as scan readahead.
+    pub fn record_readahead(&self, bytes: u64) {
+        self.readahead_ops.fetch_add(1, Relaxed);
+        self.readahead_bytes.fetch_add(bytes, Relaxed);
+    }
+
     /// Number of read operations serviced.
     pub fn read_ops(&self) -> u64 {
         self.read_ops.load(Relaxed)
+    }
+
+    /// Read operations issued by the scan readahead stage.
+    pub fn readahead_ops(&self) -> u64 {
+        self.readahead_ops.load(Relaxed)
+    }
+
+    /// Bytes read by the scan readahead stage.
+    pub fn readahead_bytes(&self) -> u64 {
+        self.readahead_bytes.load(Relaxed)
     }
 
     /// Total bytes read.
@@ -118,9 +138,15 @@ pub fn register_device_metrics(
 ) {
     let labels = vec![("device".to_string(), label.to_string())];
     type Getter = fn(&DeviceStats) -> u64;
-    let counters: [(&str, &str, Getter); 6] = [
+    let counters: [(&str, &str, Getter); 8] = [
         ("pcp_device_read_ops_total", "read operations serviced", |s| s.read_ops()),
         ("pcp_device_read_bytes_total", "bytes read", |s| s.read_bytes()),
+        ("pcp_device_readahead_ops_total", "read operations issued by scan readahead", |s| {
+            s.readahead_ops()
+        }),
+        ("pcp_device_readahead_bytes_total", "bytes read by scan readahead", |s| {
+            s.readahead_bytes()
+        }),
         ("pcp_device_write_ops_total", "write operations serviced", |s| s.write_ops()),
         ("pcp_device_write_bytes_total", "bytes written", |s| s.write_bytes()),
         ("pcp_device_busy_nanoseconds_total", "modeled device busy time", |s| {
